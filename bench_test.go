@@ -1,0 +1,255 @@
+package fonduer
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation. Each benchmark regenerates its experiment
+// at the fast configuration (use cmd/fonduer-bench for the full-size
+// runs recorded in EXPERIMENTS.md) and reports the headline metric as
+// a custom benchmark unit so `go test -bench=.` prints the reproduced
+// numbers next to the timings.
+
+import (
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/nlp"
+	"repro/internal/parser"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func benchCfg() experiments.Config { return experiments.FastConfig() }
+
+// BenchmarkTable2_OracleComparison regenerates Table 2 (end-to-end
+// quality vs Text/Table/Ensemble oracle upper bounds, four domains).
+func BenchmarkTable2_OracleComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(benchCfg())
+		b.ReportMetric(r.Rows[0].Fonduer.F1, "elec_fonduer_F1")
+		b.ReportMetric(r.Rows[0].Ensemble.F1, "elec_ensemble_F1")
+	}
+}
+
+// BenchmarkTable3_ExistingKBs regenerates Table 3 (coverage and
+// accuracy against simulated existing knowledge bases).
+func BenchmarkTable3_ExistingKBs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchCfg())
+		b.ReportMetric(r.Rows[0].Coverage, "elec_coverage")
+		b.ReportMetric(r.Rows[0].Accuracy, "elec_accuracy")
+	}
+}
+
+// BenchmarkTable4_Featurization regenerates Table 4 (human-tuned vs
+// text-only Bi-LSTM vs Fonduer).
+func BenchmarkTable4_Featurization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table4(benchCfg())
+		b.ReportMetric(r.Rows[0].Fonduer.F1, "elec_fonduer_F1")
+		b.ReportMetric(r.Rows[0].BiLSTM.F1, "elec_bilstm_F1")
+	}
+}
+
+// BenchmarkTable5_SRV regenerates Table 5 (SRV HTML features vs
+// Fonduer on ADS).
+func BenchmarkTable5_SRV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table5(benchCfg())
+		b.ReportMetric(r.Fonduer.F1, "fonduer_F1")
+		b.ReportMetric(r.SRV.F1, "srv_F1")
+	}
+}
+
+// BenchmarkTable6_DocRNN regenerates Table 6 (document-level RNN vs
+// Fonduer: runtime per epoch and F1).
+func BenchmarkTable6_DocRNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table6(benchCfg())
+		b.ReportMetric(r.DocRNNSecsPerEpoch/r.FonduerSecsPerEpoch, "docRNN_slowdown_x")
+		b.ReportMetric(r.FonduerF1-r.DocRNNF1, "fonduer_F1_advantage")
+	}
+}
+
+// BenchmarkFigure4_Throttling regenerates Figure 4 (quality and
+// speedup vs candidate filter ratio).
+func BenchmarkFigure4_Throttling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(benchCfg())
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.SpeedUp, "speedup_at_90pct")
+		b.ReportMetric(last.Quality.F1, "F1_at_90pct")
+	}
+}
+
+// BenchmarkFigure6_ContextScope regenerates Figure 6 (average F1 per
+// context scope on ELECTRONICS).
+func BenchmarkFigure6_ContextScope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure6(benchCfg())
+		b.ReportMetric(r.F1[3], "document_F1")
+		b.ReportMetric(r.F1[0], "sentence_F1")
+	}
+}
+
+// BenchmarkFigure7_FeatureAblation regenerates Figure 7 (per-modality
+// feature ablation).
+func BenchmarkFigure7_FeatureAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7(benchCfg())
+		b.ReportMetric(r.Rows[0].All, "elec_all_F1")
+		b.ReportMetric(r.Rows[0].NoTabular, "elec_no_tabular_F1")
+	}
+}
+
+// BenchmarkFigure8_SupervisionAblation regenerates Figure 8 (textual
+// vs metadata labeling functions).
+func BenchmarkFigure8_SupervisionAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8(benchCfg())
+		b.ReportMetric(r.Rows[0].All, "elec_all_F1")
+		b.ReportMetric(r.Rows[0].OnlyTextual, "elec_textual_F1")
+	}
+}
+
+// BenchmarkFigure9_UserStudy regenerates Figure 9 (manual annotation
+// vs labeling functions over a simulated 30-minute session).
+func BenchmarkFigure9_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(benchCfg())
+		var avgManual, avgLF float64
+		for _, p := range r.Points {
+			avgManual += p.ManualF1
+			avgLF += p.LFF1
+		}
+		n := float64(len(r.Points))
+		b.ReportMetric(avgLF/n, "avg_LF_F1")
+		b.ReportMetric(avgManual/n, "avg_manual_F1")
+	}
+}
+
+// BenchmarkFeatureCacheOn / Off reproduce Appendix C.1: featurization
+// with and without the mention-level cache.
+func BenchmarkFeatureCacheOn(b *testing.B) { benchCache(b, true) }
+
+// BenchmarkFeatureCacheOff is the uncached baseline of Appendix C.1.
+func BenchmarkFeatureCacheOff(b *testing.B) { benchCache(b, false) }
+
+func benchCache(b *testing.B, useCache bool) {
+	elec := synth.Electronics(1, 10)
+	task := elec.Tasks[0]
+	ext := &candidates.Extractor{Args: task.Args, Scope: DocumentScope}
+	cands := ext.ExtractAll(elec.Docs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx := features.NewExtractor()
+		fx.UseCache = useCache
+		for _, c := range cands {
+			fx.Featurize(c)
+		}
+	}
+}
+
+// BenchmarkSparseLILUpdate / COOUpdate / LILQuery / COOQuery reproduce
+// Appendix C.2's representation tradeoff.
+func BenchmarkSparseLILUpdate(b *testing.B) { benchSparseUpdate(b, sparse.NewLIL()) }
+
+// BenchmarkSparseCOOUpdate measures the append-optimized path.
+func BenchmarkSparseCOOUpdate(b *testing.B) { benchSparseUpdate(b, sparse.NewCOO()) }
+
+func benchSparseUpdate(b *testing.B, m sparse.Matrix) {
+	for r := 0; r < 2000; r++ {
+		for k := 0; k < 60; k++ {
+			m.Set(r, (r*31+k*977)%10000, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(i%2000, i%10000, float64(i%3-1))
+	}
+}
+
+// BenchmarkSparseLILQuery measures the read-optimized path.
+func BenchmarkSparseLILQuery(b *testing.B) { benchSparseQuery(b, sparse.NewLIL()) }
+
+// BenchmarkSparseCOOQuery measures row queries against the log layout.
+func BenchmarkSparseCOOQuery(b *testing.B) { benchSparseQuery(b, sparse.NewCOO()) }
+
+func benchSparseQuery(b *testing.B, m sparse.Matrix) {
+	for r := 0; r < 500; r++ {
+		for k := 0; k < 40; k++ {
+			m.Set(r, (r*31+k*977)%5000, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Row(i % 500)
+	}
+}
+
+// BenchmarkParseHTML measures document ingestion.
+func BenchmarkParseHTML(b *testing.B) {
+	elec := synth.Electronics(2, 1)
+	src := elec.Sources[0]["html"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parser.ParseHTML("bench", src)
+	}
+}
+
+// BenchmarkAlignVisual measures the HTML-vdoc word alignment.
+func BenchmarkAlignVisual(b *testing.B) {
+	elec := synth.Electronics(3, 1)
+	src := elec.Sources[0]
+	v, err := parser.ParseVDoc(src["vdoc"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := parser.ParseHTML("bench", src["html"])
+		parser.AlignVisual(d, v)
+	}
+}
+
+// BenchmarkTokenize measures the NLP tokenizer.
+func BenchmarkTokenize(b *testing.B) {
+	const text = "The SMBT3904 is rated at 200 mA collector current, with VCEO of 40 V and storage temperature -65 ... 150 C."
+	for i := 0; i < b.N; i++ {
+		nlp.Tokenize(text)
+	}
+}
+
+// BenchmarkAblation_MaxPoolVsAttention compares attention against the
+// max-pooling aggregation Section 2.2 motivates attention over.
+func BenchmarkAblation_MaxPoolVsAttention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		elec := synth.Electronics(benchCfg().Seed, benchCfg().ElecDocs)
+		train, test := elec.Split()
+		task := elec.Tasks[0]
+		gold := elec.GoldTuples[task.Relation]
+		att := core.Run(task, train, test, gold, core.Options{
+			Variant: core.VariantTextLSTM, Seed: 1, Epochs: benchCfg().Epochs})
+		pool := core.Run(task, train, test, gold, core.Options{
+			Variant: core.VariantMaxPool, Seed: 1, Epochs: benchCfg().Epochs})
+		b.ReportMetric(att.Quality.F1, "attention_F1")
+		b.ReportMetric(pool.Quality.F1, "maxpool_F1")
+	}
+}
+
+// BenchmarkAblation_LabelModelVsMajorityVote compares the generative
+// label model against unweighted majority voting (Appendix A.2).
+func BenchmarkAblation_LabelModelVsMajorityVote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		elec := synth.Electronics(benchCfg().Seed, benchCfg().ElecDocs)
+		train, test := elec.Split()
+		task := elec.Tasks[0]
+		gold := elec.GoldTuples[task.Relation]
+		gen := core.Run(task, train, test, gold, core.Options{Seed: 1, Epochs: benchCfg().Epochs})
+		mv := core.Run(task, train, test, gold, core.Options{
+			Seed: 1, Epochs: benchCfg().Epochs, MajorityVote: true})
+		b.ReportMetric(gen.Quality.F1, "generative_F1")
+		b.ReportMetric(mv.Quality.F1, "majority_vote_F1")
+	}
+}

@@ -1,0 +1,71 @@
+// Command fonduer-bench regenerates the paper's evaluation: every
+// table (2-6) and figure (4, 6-9) of Section 5-6 plus the Appendix C
+// scale studies, printing the same rows and series the paper reports.
+// The numbers in EXPERIMENTS.md come from this command at the default
+// configuration.
+//
+// Usage:
+//
+//	fonduer-bench                 # run everything at default size
+//	fonduer-bench -exp table2     # one experiment
+//	fonduer-bench -fast           # small corpora (quick sanity run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table2..table6, fig4, fig6..fig9, cache, sparse")
+	fast := flag.Bool("fast", false, "use the small test configuration")
+	seed := flag.Int64("seed", 0, "override the config seed (0 = default)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *fast {
+		cfg = experiments.FastConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	runners := []struct {
+		name string
+		run  func() fmt.Stringer
+	}{
+		{"table2", func() fmt.Stringer { return experiments.Table2(cfg) }},
+		{"table3", func() fmt.Stringer { return experiments.Table3(cfg) }},
+		{"table4", func() fmt.Stringer { return experiments.Table4(cfg) }},
+		{"table5", func() fmt.Stringer { return experiments.Table5(cfg) }},
+		{"table6", func() fmt.Stringer { return experiments.Table6(cfg) }},
+		{"fig4", func() fmt.Stringer { return experiments.Figure4(cfg) }},
+		{"fig6", func() fmt.Stringer { return experiments.Figure6(cfg) }},
+		{"fig7", func() fmt.Stringer { return experiments.Figure7(cfg) }},
+		{"fig8", func() fmt.Stringer { return experiments.Figure8(cfg) }},
+		{"fig9", func() fmt.Stringer { return experiments.Figure9(cfg) }},
+		{"cache", func() fmt.Stringer { return experiments.CacheStudy(cfg) }},
+		{"sparse", func() fmt.Stringer { return experiments.DefaultSparseStudy() }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		result := r.run()
+		fmt.Println(strings.TrimRight(result.String(), "\n"))
+		fmt.Printf("[%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "fonduer-bench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

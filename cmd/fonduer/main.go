@@ -1,0 +1,207 @@
+// Command fonduer runs the full KBC pipeline over a corpus directory
+// (as produced by cmd/synthgen): it parses the documents into the
+// multimodal data model, aligns rendered layouts when present, runs
+// candidate generation / featurization / supervision / classification
+// with the selected domain's built-in task definitions, prints the
+// extracted knowledge base, and — when gold files are present —
+// reports precision/recall/F1.
+//
+// Usage:
+//
+//	fonduer -dir ./corpus -domain electronics [-relation HasCollectorCurrent] [-threshold 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	fonduer "repro"
+)
+
+func main() {
+	dir := flag.String("dir", "corpus", "corpus directory (docs/ and gold/ subdirectories)")
+	domain := flag.String("domain", "electronics", "task definitions to use: electronics, ads, paleo, genomics")
+	relation := flag.String("relation", "", "restrict to one relation (default: all of the domain's)")
+	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
+	epochs := flag.Int("epochs", 16, "training epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "write each relation's KB as TSV into this directory")
+	flag.Parse()
+
+	if err := run(*dir, *domain, *relation, *threshold, *epochs, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir string) error {
+	docs, err := loadDocs(filepath.Join(dir, "docs"))
+	if err != nil {
+		return err
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("no documents found under %s", dir)
+	}
+	fmt.Printf("parsed %d documents\n", len(docs))
+
+	// Task definitions come from the domain's built-in tasks (the
+	// matchers, throttlers and labeling functions a user would write).
+	ref, err := referenceCorpus(domain)
+	if err != nil {
+		return err
+	}
+
+	kb := fonduer.NewKB()
+	for _, task := range ref.Tasks {
+		if relation != "" && task.Relation != relation {
+			continue
+		}
+		gold, err := loadGold(filepath.Join(dir, "gold", task.Relation+".tsv"))
+		if err != nil {
+			return err
+		}
+		train, test := split(docs)
+		res := fonduer.Run(task, train, test, gold, fonduer.Options{
+			Threshold: threshold, Epochs: epochs, Seed: seed,
+		})
+		fmt.Printf("\n== %s ==\n", task.Relation)
+		fmt.Printf("candidates: %d train / %d test; features: %d; LF coverage: %.2f\n",
+			res.TrainCandidates, res.TestCandidates, res.NumFeatures, res.LFMetrics.Coverage)
+		if len(gold) > 0 {
+			fmt.Printf("quality on test split: %s\n", res.Quality)
+		}
+		tbl, err := fonduer.WriteKB(kb, task, res.Predicted)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("knowledge base (%d entries):\n", tbl.Len())
+		printKB(tbl)
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(outDir, task.Relation+".tsv"))
+			if err != nil {
+				return err
+			}
+			if err := tbl.WriteTSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(outDir, task.Relation+".tsv"))
+		}
+	}
+	return nil
+}
+
+func referenceCorpus(domain string) (*fonduer.Corpus, error) {
+	// Two documents suffice: only the task definitions are used.
+	switch domain {
+	case "electronics":
+		return fonduer.ElectronicsCorpus(0, 2), nil
+	case "ads":
+		return fonduer.AdsCorpus(0, 2), nil
+	case "paleo":
+		return fonduer.PaleoCorpus(0, 2), nil
+	case "genomics":
+		return fonduer.GenomicsCorpus(0, 2), nil
+	default:
+		return nil, fmt.Errorf("unknown domain %q", domain)
+	}
+}
+
+func loadDocs(dir string) ([]*fonduer.Document, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var docs []*fonduer.Document
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		base := strings.TrimSuffix(name, filepath.Ext(name))
+		switch filepath.Ext(name) {
+		case ".html":
+			body, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			doc := fonduer.ParseHTML(base, string(body))
+			// Merge the rendered layout when present.
+			if vbody, err := os.ReadFile(filepath.Join(dir, base+".vdoc")); err == nil {
+				if _, err := fonduer.AlignVDoc(doc, string(vbody)); err != nil {
+					return nil, fmt.Errorf("%s: %w", base, err)
+				}
+			}
+			docs = append(docs, doc)
+		case ".xml":
+			body, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			doc, err := fonduer.ParseXML(base, string(body))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", base, err)
+			}
+			docs = append(docs, doc)
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	return docs, nil
+}
+
+func loadGold(path string) ([]fonduer.GoldTuple, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []fonduer.GoldTuple
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s: malformed gold line %q", path, line)
+		}
+		out = append(out, fonduer.GoldTuple{Doc: fields[0], Values: fields[1:]})
+	}
+	return out, nil
+}
+
+func split(docs []*fonduer.Document) (train, test []*fonduer.Document) {
+	for i, d := range docs {
+		if i%2 == 0 {
+			train = append(train, d)
+		} else {
+			test = append(test, d)
+		}
+	}
+	return train, test
+}
+
+func printKB(tbl *fonduer.KBTable) {
+	shown := 0
+	tbl.Scan(func(tp fonduer.Tuple) bool {
+		parts := make([]string, len(tp))
+		for i, v := range tp {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println("  " + strings.Join(parts, " | "))
+		shown++
+		return shown < 25
+	})
+	if tbl.Len() > shown {
+		fmt.Printf("  ... and %d more\n", tbl.Len()-shown)
+	}
+}

@@ -1,0 +1,94 @@
+// Command synthgen writes a synthetic corpus to disk: the serialized
+// document sources (HTML or XML, plus the rendered vdoc layout for PDF
+// domains) and the gold tuples, in the layout cmd/fonduer consumes.
+//
+// Usage:
+//
+//	synthgen -domain electronics -docs 40 -seed 7 -out ./corpus
+//
+// Output layout:
+//
+//	<out>/docs/<name>.html|.xml     document sources
+//	<out>/docs/<name>.vdoc          rendered layouts (PDF domains)
+//	<out>/gold/<relation>.tsv       doc-scoped gold tuples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	fonduer "repro"
+)
+
+func main() {
+	domain := flag.String("domain", "electronics", "corpus domain: electronics, ads, paleo, genomics")
+	docs := flag.Int("docs", 40, "number of documents to generate")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "corpus", "output directory")
+	flag.Parse()
+
+	corpus, err := generate(*domain, *seed, *docs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+	if err := write(corpus, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s documents and %d relations to %s\n",
+		len(corpus.Docs), *domain, len(corpus.GoldTuples), *out)
+}
+
+func generate(domain string, seed int64, docs int) (*fonduer.Corpus, error) {
+	switch domain {
+	case "electronics":
+		return fonduer.ElectronicsCorpus(seed, docs), nil
+	case "ads":
+		return fonduer.AdsCorpus(seed, docs), nil
+	case "paleo":
+		return fonduer.PaleoCorpus(seed, docs), nil
+	case "genomics":
+		return fonduer.GenomicsCorpus(seed, docs), nil
+	default:
+		return nil, fmt.Errorf("unknown domain %q", domain)
+	}
+}
+
+func write(c *fonduer.Corpus, out string) error {
+	docsDir := filepath.Join(out, "docs")
+	goldDir := filepath.Join(out, "gold")
+	for _, dir := range []string{docsDir, goldDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, d := range c.Docs {
+		src := c.Sources[i]
+		for key, ext := range map[string]string{"html": ".html", "xml": ".xml", "vdoc": ".vdoc"} {
+			if body, ok := src[key]; ok {
+				if err := os.WriteFile(filepath.Join(docsDir, d.Name+ext), []byte(body), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for rel, tuples := range c.GoldTuples {
+		var sb strings.Builder
+		for _, t := range tuples {
+			sb.WriteString(t.Doc)
+			for _, v := range t.Values {
+				sb.WriteByte('\t')
+				sb.WriteString(v)
+			}
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(goldDir, rel+".tsv"), []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

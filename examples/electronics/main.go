@@ -1,0 +1,47 @@
+// Electronics: multi-relation extraction from transistor datasheets —
+// the paper's flagship domain. This example generates a corpus of
+// synthetic datasheets (with visual renderings merged through the
+// alignment path), extracts all four electrical-characteristic
+// relations with proper train/test splits, evaluates against gold, and
+// demonstrates the context-scope effect of Figure 6: restricting
+// candidates to single sentences destroys recall.
+package main
+
+import (
+	"fmt"
+
+	fonduer "repro"
+)
+
+func main() {
+	corpus := fonduer.ElectronicsCorpus(7, 30)
+	train, test := corpus.Split()
+	fmt.Printf("corpus: %d datasheets (%d train, %d test)\n\n",
+		len(corpus.Docs), len(train), len(test))
+
+	kb := fonduer.NewKB()
+	for _, task := range corpus.Tasks {
+		gold := corpus.GoldTuples[task.Relation]
+		res := fonduer.Run(task, train, test, gold, fonduer.Options{Seed: 7})
+		fmt.Printf("%-22s %s   (%d candidates, %d features)\n",
+			task.Relation, res.Quality, res.TestCandidates, res.NumFeatures)
+		if _, err := fonduer.WriteKB(kb, task, res.Predicted); err != nil {
+			fmt.Println("KB error:", err)
+			return
+		}
+	}
+
+	fmt.Println("\nknowledge base relations:")
+	for _, name := range kb.Names() {
+		fmt.Printf("  %-22s %d entries\n", name, kb.Table(name).Len())
+	}
+
+	// The document-level-context effect (Figure 6): the same task at
+	// sentence scope finds almost nothing, because parts live in the
+	// header and values in the table.
+	task := corpus.Tasks[0]
+	sent := fonduer.Run(task, train, test, corpus.GoldTuples[task.Relation],
+		fonduer.Options{Seed: 7, Scope: fonduer.SentenceScope})
+	fmt.Printf("\n%s at sentence scope: %s (document scope is required)\n",
+		task.Relation, sent.Quality)
+}

@@ -1,0 +1,96 @@
+// Quickstart: the paper's Figure 1 example end to end. We parse two
+// small transistor datasheets, define the HasCollectorCurrent task —
+// matchers for parts and currents, a throttler keeping values under a
+// "Value" column header (Example 3.4), and two multimodal labeling
+// functions (Example 3.5) — run the pipeline, and print the resulting
+// knowledge base.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fonduer "repro"
+)
+
+var sheets = map[string]string{
+	"smbt3904": `<html><body>
+<h1 class="part-header">SMBT3904 ... MMBT3904</h1>
+<p>NPN Silicon Switching Transistors.</p>
+<p>High DC current gain: 0.1 mA to 100 mA.</p>
+<table><caption>Maximum Ratings</caption>
+<tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+<tr><td>Collector-emitter voltage</td><td>VCEO</td><td>40</td><td>V</td></tr>
+<tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+<tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>C</td></tr>
+</table></body></html>`,
+	"bc337": `<html><body>
+<h1 class="part-header">BC337</h1>
+<p>Amplifier Transistor, NPN.</p>
+<table><caption>Maximum Ratings</caption>
+<tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+<tr><td>Collector current</td><td>IC</td><td>800</td><td>mA</td></tr>
+<tr><td>Total power dissipation</td><td>Ptot</td><td>625</td><td>mW</td></tr>
+</table></body></html>`,
+}
+
+func main() {
+	// Phase 1: KBC initialization — parse documents into the
+	// multimodal data model and declare the target schema.
+	var docs []*fonduer.Document
+	for name, src := range sheets {
+		docs = append(docs, fonduer.ParseHTML(name, src))
+	}
+	task := fonduer.Task{
+		Relation: "HasCollectorCurrent",
+		Schema:   fonduer.MustSchema("HasCollectorCurrent", "part", "current"),
+
+		// Phase 2 inputs: matchers define what mentions look like;
+		// the throttler prunes the candidate cross-product.
+		Args: []fonduer.ArgSpec{
+			{TypeName: "Part", Matcher: fonduer.RegexMatcher(`(?:SMBT|MMBT|BC)[0-9]{3,4}`)},
+			{TypeName: "Current", Matcher: fonduer.NumberRange(100, 995)},
+		},
+		Throttlers: []fonduer.Throttler{func(c *fonduer.Candidate) bool {
+			return fonduer.Contains(fonduer.ColHeaderNgrams(c.Mentions[1].Span), "value")
+		}},
+
+		// Phase 3 inputs: labeling functions over any modality.
+		LFs: []fonduer.LabelingFunction{
+			{Name: "has_current_in_row", Fn: func(c *fonduer.Candidate) int {
+				if fonduer.Contains(fonduer.RowNgrams(c.Mentions[1].Span), "current", "ic") {
+					return 1
+				}
+				return 0
+			}},
+			{Name: "other_symbol_in_row", Fn: func(c *fonduer.Candidate) int {
+				if fonduer.Contains(fonduer.RowNgrams(c.Mentions[1].Span),
+					"temperature", "power", "voltage") {
+					return -1
+				}
+				return 0
+			}},
+		},
+	}
+
+	// Run the pipeline: with two documents we train and classify on
+	// the same tiny corpus (see examples/electronics for proper
+	// train/test splits).
+	res := fonduer.Run(task, docs, docs, nil, fonduer.Options{
+		Epochs: 10, Seed: 1, MinFeatureCount: 1,
+	})
+
+	fmt.Printf("candidates: %d; features: %d; LF coverage: %.2f\n",
+		res.TestCandidates, res.NumFeatures, res.LFMetrics.Coverage)
+
+	kb := fonduer.NewKB()
+	tbl, err := fonduer.WriteKB(kb, task, res.Predicted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(task.Schema.SQL())
+	tbl.Scan(func(tp fonduer.Tuple) bool {
+		fmt.Printf("  (%v, %v)\n", tp[0], tp[1])
+		return true
+	})
+}

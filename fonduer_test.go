@@ -1,0 +1,176 @@
+package fonduer_test
+
+import (
+	"strings"
+	"testing"
+
+	fonduer "repro"
+)
+
+const sheetHTML = `<html><body>
+<h1 class="part-header">SMBT3904 ... MMBT3904</h1>
+<p>NPN Silicon Switching Transistors.</p>
+<table><caption>Maximum Ratings</caption>
+<tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+<tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+<tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>C</td></tr>
+</table></body></html>`
+
+func figure1Task(t *testing.T) fonduer.Task {
+	t.Helper()
+	return fonduer.Task{
+		Relation: "HasCollectorCurrent",
+		Schema:   fonduer.MustSchema("HasCollectorCurrent", "part", "current"),
+		Args: []fonduer.ArgSpec{
+			{TypeName: "Part", Matcher: fonduer.RegexMatcher(`[SM]MBT[0-9]{4}`)},
+			{TypeName: "Current", Matcher: fonduer.NumberRange(100, 995)},
+		},
+		Throttlers: []fonduer.Throttler{func(c *fonduer.Candidate) bool {
+			return fonduer.Contains(fonduer.ColHeaderNgrams(c.Mentions[1].Span), "value")
+		}},
+		LFs: []fonduer.LabelingFunction{
+			{Name: "current_row", Fn: func(c *fonduer.Candidate) int {
+				if fonduer.Contains(fonduer.RowNgrams(c.Mentions[1].Span), "current") {
+					return 1
+				}
+				return 0
+			}},
+			{Name: "temp_row", Fn: func(c *fonduer.Candidate) int {
+				if fonduer.Contains(fonduer.RowNgrams(c.Mentions[1].Span), "temperature") {
+					return -1
+				}
+				return 0
+			}},
+		},
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	// Parse the Figure 1 datasheet through the public API.
+	doc := fonduer.ParseHTML("smbt3904", sheetHTML)
+	if len(doc.Tables()) != 1 {
+		t.Fatalf("tables = %d", len(doc.Tables()))
+	}
+	task := figure1Task(t)
+	docs := []*fonduer.Document{doc}
+	gold := []fonduer.GoldTuple{
+		{Doc: "smbt3904", Values: []string{"smbt3904", "200"}},
+		{Doc: "smbt3904", Values: []string{"mmbt3904", "200"}},
+	}
+	res := fonduer.Run(task, docs, docs, gold, fonduer.Options{Epochs: 10, Seed: 1, MinFeatureCount: 1})
+	if res.Quality.F1 < 0.99 {
+		t.Fatalf("quickstart F1 = %v (%+v)", res.Quality.F1, res.Quality)
+	}
+	// Write the KB and inspect it.
+	kb := fonduer.NewKB()
+	tbl, err := fonduer.WriteKB(kb, task, res.Predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("KB entries = %d, want 2", tbl.Len())
+	}
+	if !strings.Contains(task.Schema.SQL(), "CREATE TABLE HasCollectorCurrent") {
+		t.Fatal("schema SQL")
+	}
+}
+
+func TestPublicAPICorpora(t *testing.T) {
+	for name, gen := range map[string]func(int64, int) *fonduer.Corpus{
+		"electronics": fonduer.ElectronicsCorpus,
+		"ads":         fonduer.AdsCorpus,
+		"paleo":       fonduer.PaleoCorpus,
+		"genomics":    fonduer.GenomicsCorpus,
+	} {
+		c := gen(1, 3)
+		if len(c.Docs) != 3 || len(c.Tasks) == 0 {
+			t.Errorf("%s corpus: %d docs, %d tasks", name, len(c.Docs), len(c.Tasks))
+		}
+	}
+}
+
+func TestPublicAPIVDocAlignment(t *testing.T) {
+	c := fonduer.ElectronicsCorpus(2, 1)
+	src := c.Sources[0]
+	doc := fonduer.ParseHTML("elec0000", src["html"])
+	frac, err := fonduer.AlignVDoc(doc, src["vdoc"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.9 {
+		t.Fatalf("aligned fraction = %v", frac)
+	}
+	if doc.Pages < 1 {
+		t.Fatal("pages not set")
+	}
+}
+
+func TestPublicAPIParseXML(t *testing.T) {
+	doc, err := fonduer.ParseXML("x", `<article><sec><p>rs7329174 and asthma</p></sec></article>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sentences()) == 0 {
+		t.Fatal("no sentences")
+	}
+	if _, err := fonduer.ParseXML("bad", `<a><b></a>`); err == nil {
+		t.Fatal("malformed XML must error")
+	}
+}
+
+func TestPublicAPIMatcherCombinators(t *testing.T) {
+	doc := fonduer.ParseHTML("m", `<p>alpha 42 beta</p>`)
+	s := doc.Sentences()[0]
+	span := fonduer.Span{Sentence: s, Start: 1, End: 2} // "42"
+	u := fonduer.Union(fonduer.NumberRange(0, 100), fonduer.DictionaryMatcher("g", "alpha"))
+	if !u.Match(span) {
+		t.Fatal("union")
+	}
+	x := fonduer.Intersect(fonduer.NumberRange(0, 100), fonduer.MatcherFunc("even", func(sp fonduer.Span) bool {
+		return sp.Start%2 == 1
+	}))
+	if !x.Match(span) {
+		t.Fatal("intersect")
+	}
+	if _, err := fonduer.NewSchema("r"); err == nil {
+		t.Fatal("NewSchema with no columns must error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustSchema must panic on error")
+			}
+		}()
+		fonduer.MustSchema("r")
+	}()
+}
+
+func TestPublicAPIKBPersistence(t *testing.T) {
+	task := figure1Task(t)
+	kb := fonduer.NewKB()
+	pred := []fonduer.GoldTuple{
+		{Doc: "smbt3904", Values: []string{"smbt3904", "200"}},
+		{Doc: "bc337", Values: []string{"bc337", "800"}},
+	}
+	tbl, err := fonduer.WriteKB(kb, task, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fonduer.ReadKBTable(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("round trip: %d entries, want %d", got.Len(), tbl.Len())
+	}
+	if !got.Contains(fonduer.Tuple{"smbt3904", "200"}) {
+		t.Fatal("round trip lost a tuple")
+	}
+	if _, err := fonduer.ReadKBTable(strings.NewReader("garbage")); err == nil {
+		t.Fatal("malformed TSV must error")
+	}
+}

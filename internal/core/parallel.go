@@ -1,0 +1,111 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/features"
+	"repro/internal/sparse"
+)
+
+// Fonduer operates on documents atomically (Appendix C), which makes
+// candidate extraction and featurization embarrassingly parallel
+// across documents. These helpers shard a corpus over a worker pool;
+// per-document results are concatenated in corpus order so candidate
+// IDs remain dense and deterministic regardless of worker count.
+
+// ParallelExtract runs candidate extraction over the corpus with up to
+// workers goroutines (<=0 means GOMAXPROCS). The result is identical
+// to a sequential ExtractAll: candidates in document order with dense
+// IDs.
+func ParallelExtract(task Task, docs []*datamodel.Document, scope candidates.Scope, throttle bool, workers int) []*candidates.Candidate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perDoc := make([][]*candidates.Candidate, len(docs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, d := range docs {
+		wg.Add(1)
+		go func(i int, d *datamodel.Document) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ext := &candidates.Extractor{Args: task.Args, Scope: scope}
+			if throttle {
+				ext.Throttlers = task.Throttlers
+			}
+			perDoc[i] = ext.Extract(d)
+		}(i, d)
+	}
+	wg.Wait()
+	var out []*candidates.Candidate
+	for _, cs := range perDoc {
+		for _, c := range cs {
+			c.ID = len(out)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParallelFeaturize featurizes candidates with one extractor (and
+// therefore one mention cache) per document shard, writing rows into a
+// LIL matrix against a frozen feature index. The matrix contents match
+// a sequential FeaturizeAll.
+func ParallelFeaturize(ix *features.Index, cands []*candidates.Candidate, workers int) *sparse.LIL {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Shard by document so each worker's cache stays effective.
+	var shards [][]*candidates.Candidate
+	var cur []*candidates.Candidate
+	for i, c := range cands {
+		if i > 0 && c.Doc() != cands[i-1].Doc() {
+			shards = append(shards, cur)
+			cur = nil
+		}
+		cur = append(cur, c)
+	}
+	if len(cur) > 0 {
+		shards = append(shards, cur)
+	}
+
+	type rowSet struct {
+		id   int
+		cols []int
+	}
+	rows := make([][]rowSet, len(shards))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for si, shard := range shards {
+		wg.Add(1)
+		go func(si int, shard []*candidates.Candidate) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fx := features.NewExtractor()
+			for _, c := range shard {
+				var cols []int
+				for _, f := range fx.Featurize(c) {
+					if id := ix.ID(f.Name); id >= 0 {
+						cols = append(cols, id)
+					}
+				}
+				rows[si] = append(rows[si], rowSet{id: c.ID, cols: cols})
+			}
+		}(si, shard)
+	}
+	wg.Wait()
+	m := sparse.NewLIL()
+	for _, shard := range rows {
+		for _, r := range shard {
+			for _, col := range r.cols {
+				m.Set(r.id, col, 1)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/features"
+	"repro/internal/labeling"
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// Variant selects which discriminative model the pipeline trains —
+// Fonduer's multimodal LSTM or one of the Section 5.3.3 baselines.
+type Variant int
+
+// The model variants of Tables 4-6.
+const (
+	VariantFonduer Variant = iota
+	VariantTextLSTM
+	VariantHumanTuned
+	VariantSRV
+	VariantDocRNN
+	VariantMaxPool
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case VariantFonduer:
+		return "Fonduer"
+	case VariantTextLSTM:
+		return "Bi-LSTM w/ Attn."
+	case VariantHumanTuned:
+		return "Human-tuned"
+	case VariantSRV:
+		return "SRV"
+	case VariantDocRNN:
+		return "Document-level RNN"
+	case VariantMaxPool:
+		return "Bi-LSTM w/ MaxPool"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Options configure one pipeline run.
+type Options struct {
+	// Variant selects the model (default VariantFonduer).
+	Variant Variant
+	// Scope is the candidate context scope (default DocumentScope).
+	Scope candidates.Scope
+	// Threshold classifies candidates whose marginal probability
+	// exceeds it as "True" (default 0.5).
+	Threshold float64
+	// DisabledModalities switches feature modalities off (Figure 7).
+	DisabledModalities []features.Modality
+	// LFs overrides the task's labeling functions when non-nil
+	// (Figure 8's supervision ablation and Figure 9's schedules).
+	LFs []labeling.LF
+	// MajorityVote replaces the generative label model with majority
+	// voting (label-model ablation).
+	MajorityVote bool
+	// Marginals, when non-nil, bypasses the supervision stage entirely
+	// and trains on these per-candidate probabilities (indexed by
+	// train-candidate ID). The user-study simulation uses this for its
+	// manual-annotation condition.
+	Marginals []float64
+	// NoThrottlers disables the task's throttlers.
+	NoThrottlers bool
+	// NoFeatureCache disables the Appendix C.1 mention cache.
+	NoFeatureCache bool
+	// Epochs/LR/L2 control training (defaults 8 / 0.02 / 1e-4).
+	Epochs int
+	LR     float64
+	L2     float64
+	// MinFeatureCount drops features occurring in fewer training
+	// candidates (default 2). Identity features — a part number seen
+	// in one document — carry no cross-document signal and would let
+	// the model memorize the training split.
+	MinFeatureCount int
+	// Seed drives all stochastic choices.
+	Seed int64
+	// MaxDocTokens caps the document-level RNN input (Table 6).
+	MaxDocTokens int
+}
+
+func (o *Options) defaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 8
+	}
+	if o.LR <= 0 {
+		o.LR = 0.02
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.MinFeatureCount == 0 {
+		o.MinFeatureCount = 2
+	}
+}
+
+// Result summarizes one pipeline run.
+type Result struct {
+	Quality PRF
+	// Predicted holds the classified-true tuples (deduplicated).
+	Predicted []GoldTuple
+	// TrainCandidates / TestCandidates count the generated candidates.
+	TrainCandidates, TestCandidates int
+	// NumFeatures is the feature-space size after training.
+	NumFeatures int
+	// LFMetrics summarizes the label matrix.
+	LFMetrics labeling.Metrics
+	// TrainStats reports model training cost (Table 6's runtime).
+	TrainStats model.TrainStats
+	// CacheStats reports mention-cache effectiveness (Appendix C.1).
+	CacheStats features.CacheStats
+}
+
+// Run executes the full pipeline for a task: extract candidates from
+// the train and test splits, featurize, supervise with labeling
+// functions denoised by the generative model, train the selected model
+// variant, classify the test candidates, and evaluate the resulting
+// tuples against the gold. Gold must contain (at least) the test
+// documents' tuples.
+func Run(task Task, train, test []*datamodel.Document, gold []GoldTuple, opts Options) Result {
+	opts.defaults()
+	ext := &candidates.Extractor{Args: task.Args, Scope: opts.Scope}
+	if !opts.NoThrottlers {
+		ext.Throttlers = task.Throttlers
+	}
+	trainCands := ext.ExtractAll(train)
+	ext.Reset()
+	testCands := ext.ExtractAll(test)
+	return RunWithCandidates(task, trainCands, testCands, test, gold, opts)
+}
+
+// RunWithCandidates is Run with pre-extracted candidates (used by the
+// throttling sweep, which filters candidates itself). Candidate IDs of
+// each split must be dense starting at zero.
+func RunWithCandidates(task Task, trainCands, testCands []*candidates.Candidate, test []*datamodel.Document, gold []GoldTuple, opts Options) Result {
+	opts.defaults()
+	res := Result{TrainCandidates: len(trainCands), TestCandidates: len(testCands)}
+
+	// ---- Multimodal featurization (Phase 3a).
+	fx := features.NewExtractor()
+	fx.UseCache = !opts.NoFeatureCache
+	for _, m := range opts.DisabledModalities {
+		fx.Disabled[m] = true
+	}
+	if opts.Variant == VariantSRV {
+		// SRV learns from HTML features alone: structural + textual.
+		fx.Disabled[features.Tabular] = true
+		fx.Disabled[features.Visual] = true
+	}
+	// First pass: count how many training candidates each feature
+	// fires on, then admit only features above the frequency floor
+	// (deterministically, in sorted name order).
+	counts := map[string]int{}
+	for _, c := range trainCands {
+		seen := map[string]bool{}
+		for _, f := range fx.Featurize(c) {
+			if !seen[f.Name] {
+				seen[f.Name] = true
+				counts[f.Name]++
+			}
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for name, n := range counts {
+		if n >= opts.MinFeatureCount {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ix := features.NewIndex()
+	for _, name := range names {
+		ix.ID(name)
+	}
+	ix.Freeze()
+	trainFeats := sparse.NewLIL()
+	features.FeaturizeAll(fx, ix, trainCands, trainFeats)
+	testFeats := sparse.NewLIL()
+	features.FeaturizeAll(fx, ix, testCands, testFeats)
+	res.NumFeatures = ix.Len()
+	res.CacheStats = fx.Stats()
+
+	// ---- Supervision (Phase 3b): apply LFs, denoise, marginals.
+	var marginals []float64
+	covered := func(int) bool { return true }
+	if opts.Marginals != nil {
+		marginals = opts.Marginals
+	} else {
+		lfs := task.LFs
+		if opts.LFs != nil {
+			lfs = opts.LFs
+		}
+		lm := labeling.Apply(lfs, trainCands).Compact()
+		res.LFMetrics = labeling.ComputeMetrics(lm)
+		if opts.MajorityVote {
+			marginals = labeling.MajorityVote(lm)
+		} else {
+			gen := labeling.Fit(lm, labeling.FitOptions{})
+			marginals = gen.Marginals(lm)
+		}
+		// Candidates no labeling function covers carry no supervision
+		// signal; training on their prior would only inject noise.
+		covered = func(id int) bool { return len(lm.RowLabels(id)) > 0 }
+	}
+
+	// ---- Build examples from the covered candidates.
+	trainEx := make([]model.Example, 0, len(trainCands))
+	for _, c := range trainCands {
+		if !covered(c.ID) {
+			continue
+		}
+		trainEx = append(trainEx, model.Example{
+			Cand:        c,
+			SparseFeats: cols(trainFeats.Row(c.ID)),
+			Marginal:    marginals[c.ID],
+		})
+	}
+	testEx := make([]model.Example, len(testCands))
+	for i, c := range testCands {
+		testEx[i] = model.Example{Cand: c, SparseFeats: cols(testFeats.Row(c.ID))}
+	}
+
+	// ---- Train the selected variant.
+	arity := len(task.Args)
+	var m *model.Model
+	switch opts.Variant {
+	case VariantFonduer:
+		m = model.NewFonduer(arity, ix.Len(), opts.Seed, trainEx)
+	case VariantTextLSTM:
+		m = model.NewTextBiLSTM(arity, opts.Seed, trainEx)
+	case VariantHumanTuned:
+		m = model.NewHumanTuned(ix.Len(), opts.Seed)
+	case VariantSRV:
+		m = model.NewSRV(ix.Len(), opts.Seed)
+	case VariantDocRNN:
+		maxTokens := opts.MaxDocTokens
+		if maxTokens <= 0 {
+			maxTokens = 400
+		}
+		m = model.NewDocRNN(opts.Seed, trainEx, maxTokens)
+	case VariantMaxPool:
+		m = model.NewMaxPoolText(arity, opts.Seed, trainEx)
+	default:
+		panic("core: unknown variant")
+	}
+	res.TrainStats = m.Train(trainEx, model.TrainOptions{Epochs: opts.Epochs, LR: opts.LR, L2: opts.L2})
+
+	// ---- Classification: threshold the marginals, dedup tuples.
+	seen := map[string]bool{}
+	for _, ex := range testEx {
+		if !m.Classify(ex, opts.Threshold) {
+			continue
+		}
+		t := TupleFromCandidate(ex.Cand)
+		if !seen[t.Key()] {
+			seen[t.Key()] = true
+			res.Predicted = append(res.Predicted, t)
+		}
+	}
+	res.Quality = EvaluateTuples(res.Predicted, FilterGold(gold, DocNames(test)))
+	return res
+}
+
+func cols(row []sparse.Entry) []int {
+	out := make([]int, len(row))
+	for i, e := range row {
+		out[i] = e.Col
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/labeling"
+	"repro/internal/sparse"
+)
+
+// DevSession implements Fonduer's development mode (Section 3.3):
+// users iteratively improve labeling functions through error analysis
+// without rerunning candidate extraction or featurization. Candidates
+// are extracted once; the label matrix lives in the update-optimized
+// COO representation (Appendix C.2) and is updated incrementally as
+// LFs are added, edited or removed; after each iteration the session
+// reports the LF metrics (coverage, overlap, conflict) and denoised
+// marginals the user inspects before the next iteration.
+//
+// Production mode is a single Run call with the finalized LFs.
+type DevSession struct {
+	task  Task
+	cands []*candidates.Candidate
+	lfs   []labeling.LF
+	// labels is COO-backed: each LF edit appends, never rewrites.
+	labels *labeling.Matrix
+	// sample maps session candidate order to gold labels when the user
+	// supplies a labeled holdout for accuracy estimates.
+	holdout map[int]bool
+}
+
+// NewDevSession extracts candidates from the development documents
+// once and prepares an empty labeling state.
+func NewDevSession(task Task, docs []*datamodel.Document) *DevSession {
+	ext := &candidates.Extractor{Args: task.Args, Scope: DocumentScopeDefault(), Throttlers: task.Throttlers}
+	cands := ext.ExtractAll(docs)
+	return &DevSession{
+		task:   task,
+		cands:  cands,
+		labels: labeling.NewMatrix(sparse.NewCOO(), len(cands), 0),
+	}
+}
+
+// DocumentScopeDefault returns the pipeline's default scope; exposed
+// so DevSession and Run agree.
+func DocumentScopeDefault() candidates.Scope { return candidates.DocumentScope }
+
+// Candidates returns the session's extracted candidates.
+func (s *DevSession) Candidates() []*candidates.Candidate { return s.cands }
+
+// NumLFs returns the number of labeling functions currently installed.
+func (s *DevSession) NumLFs() int { return len(s.lfs) }
+
+// AddLF installs a labeling function and applies it to every candidate
+// (one COO append per candidate — the fast-update path). It returns
+// the LF's column index.
+func (s *DevSession) AddLF(lf labeling.LF) int {
+	col := len(s.lfs)
+	s.lfs = append(s.lfs, lf)
+	s.labels.NumLFs = len(s.lfs)
+	for _, c := range s.cands {
+		labeling.ApplyOne(s.labels, c, col, lf)
+	}
+	return col
+}
+
+// EditLF replaces the labeling function at col and re-applies it; the
+// COO log absorbs the overwrite without rewriting other columns.
+func (s *DevSession) EditLF(col int, lf labeling.LF) error {
+	if col < 0 || col >= len(s.lfs) {
+		return fmt.Errorf("core: no labeling function at column %d", col)
+	}
+	s.lfs[col] = lf
+	for _, c := range s.cands {
+		labeling.ApplyOne(s.labels, c, col, lf)
+	}
+	return nil
+}
+
+// RemoveLF abstains the labeling function at col everywhere (columns
+// are never renumbered mid-session, matching the append-only log).
+func (s *DevSession) RemoveLF(col int) error {
+	abstain := labeling.LF{Name: "removed", Fn: func(*candidates.Candidate) int { return 0 }}
+	return s.EditLF(col, abstain)
+}
+
+// Metrics computes the current LF development metrics.
+func (s *DevSession) Metrics() labeling.Metrics {
+	return labeling.ComputeMetrics(s.labels)
+}
+
+// Marginals fits the generative model to the current label matrix and
+// returns the denoised per-candidate probabilities.
+func (s *DevSession) Marginals() []float64 {
+	gen := labeling.Fit(s.labels, labeling.FitOptions{})
+	return gen.Marginals(s.labels)
+}
+
+// SetHoldout registers gold labels for a subset of candidates (by
+// candidate ID); EstimateAccuracy scores the current marginals against
+// it, the "small holdout set of labeled candidates" of Section 4.1.
+func (s *DevSession) SetHoldout(gold map[int]bool) { s.holdout = gold }
+
+// EstimateAccuracy returns the fraction of holdout candidates whose
+// current marginal agrees with their gold label (0 when no holdout).
+func (s *DevSession) EstimateAccuracy() float64 {
+	if len(s.holdout) == 0 {
+		return 0
+	}
+	marg := s.Marginals()
+	agree := 0
+	for id, truth := range s.holdout {
+		if id >= 0 && id < len(marg) && (marg[id] > 0.5) == truth {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(s.holdout))
+}
+
+// Errors returns the holdout candidates the current marginals get
+// wrong — the error-analysis view driving the next LF iteration.
+func (s *DevSession) Errors() []*candidates.Candidate {
+	marg := s.Marginals()
+	var out []*candidates.Candidate
+	for id, truth := range s.holdout {
+		if id >= 0 && id < len(marg) && (marg[id] > 0.5) != truth {
+			out = append(out, s.cands[id])
+		}
+	}
+	candidates.SortByKey(out)
+	return out
+}
+
+// Finalize returns the session's labeling functions for the production
+// run (Run with Options.LFs set, or a Task carrying them).
+func (s *DevSession) Finalize() []labeling.LF {
+	out := make([]labeling.LF, len(s.lfs))
+	copy(out, s.lfs)
+	return out
+}

@@ -1,0 +1,130 @@
+// Package core orchestrates Fonduer's three-phase pipeline (Figure 2):
+// KBC initialization (schema + data model ingestion), candidate
+// generation (matchers + throttlers), and training/classification
+// (multimodal featurization, data-programming supervision, and the
+// multimodal LSTM). It also defines the evaluation primitives used by
+// the experiment harness: document-level tuple comparison with
+// precision/recall/F1.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/kbase"
+	"repro/internal/labeling"
+)
+
+// Task is one relation-extraction task: the target schema plus the
+// user inputs Fonduer requires — matchers for each mention type,
+// optional throttlers, and labeling functions. Gold is the evaluation
+// oracle (never used in training).
+type Task struct {
+	// Relation names the task, e.g. "HasCollectorCurrent".
+	Relation string
+	// Schema is the target KB schema (Phase 1 input).
+	Schema kbase.Schema
+	// Args couple each schema type with its matcher (Phase 2 input).
+	Args []candidates.ArgSpec
+	// Throttlers prune candidates (Phase 2 input).
+	Throttlers []candidates.Throttler
+	// LFs are the supervision inputs (Phase 3 input).
+	LFs []labeling.LF
+	// Gold reports ground truth for a candidate; evaluation only.
+	Gold func(*candidates.Candidate) bool
+}
+
+// GoldTuple is one ground-truth relation instance, scoped to the
+// document expressing it. Values are lowercase.
+type GoldTuple struct {
+	Doc    string
+	Values []string
+}
+
+// Key canonicalizes the tuple for set comparison.
+func (g GoldTuple) Key() string {
+	return g.Doc + "\x00" + strings.Join(g.Values, "\x00")
+}
+
+// PRF is a precision/recall/F1 triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// NewPRF computes F1 from precision and recall.
+func NewPRF(p, r float64) PRF {
+	f := 0.0
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return PRF{Precision: p, Recall: r, F1: f}
+}
+
+// String formats the triple like the paper's tables.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f", m.Precision, m.Recall, m.F1)
+}
+
+// TupleFromCandidate converts a classified-true candidate into the
+// document-scoped tuple that enters the knowledge base.
+func TupleFromCandidate(c *candidates.Candidate) GoldTuple {
+	vals := c.Values()
+	for i := range vals {
+		vals[i] = strings.ToLower(vals[i])
+	}
+	return GoldTuple{Doc: c.Doc().Name, Values: vals}
+}
+
+// EvaluateTuples compares a predicted tuple set against gold tuples
+// (both document-scoped, deduplicated) and returns precision, recall
+// and F1 — the paper's end-to-end quality metric.
+func EvaluateTuples(predicted, gold []GoldTuple) PRF {
+	predSet := map[string]bool{}
+	for _, t := range predicted {
+		predSet[t.Key()] = true
+	}
+	goldSet := map[string]bool{}
+	for _, t := range gold {
+		goldSet[t.Key()] = true
+	}
+	if len(predSet) == 0 {
+		return NewPRF(0, 0)
+	}
+	hit := 0
+	for k := range predSet {
+		if goldSet[k] {
+			hit++
+		}
+	}
+	p := float64(hit) / float64(len(predSet))
+	r := 0.0
+	if len(goldSet) > 0 {
+		r = float64(hit) / float64(len(goldSet))
+	}
+	return NewPRF(p, r)
+}
+
+// FilterGold restricts gold tuples to a set of document names (used to
+// evaluate on the test split only).
+func FilterGold(gold []GoldTuple, docNames map[string]bool) []GoldTuple {
+	var out []GoldTuple
+	for _, g := range gold {
+		if docNames[g.Doc] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// DocNames collects a name set from documents.
+func DocNames(docs []*datamodel.Document) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range docs {
+		out[d.Name] = true
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package datamodel
+
+import "strings"
+
+// This file provides the traversal helpers used by labeling functions
+// and the feature library to access modality attributes stored in the
+// data model: n-grams from the same row/column/cell, table headers,
+// visually aligned words, and structural relationships between spans.
+// These mirror the helper vocabulary of the paper's programming model
+// (row_ngrams, header_ngrams, y-axis alignment, ...).
+
+// cellWords collects the lowercase words of every sentence in a cell.
+func cellWords(c *Cell) []string {
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, p := range c.Paragraphs {
+		for _, s := range p.Sentences {
+			for _, w := range s.Words {
+				out = append(out, strings.ToLower(w))
+			}
+		}
+	}
+	return out
+}
+
+// CellNgrams returns the lowercase unigrams of the cell containing the
+// span (excluding nothing; the span's own words are included).
+func CellNgrams(s Span) []string { return cellWords(s.Cell()) }
+
+// RowNgrams returns the lowercase unigrams of every cell sharing a grid
+// row with the span's cell (the span's own cell is excluded).
+func RowNgrams(s Span) []string {
+	c := s.Cell()
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, other := range c.Table.Cells {
+		if other == c {
+			continue
+		}
+		if rangesOverlap(c.RowStart, c.RowEnd, other.RowStart, other.RowEnd) {
+			out = append(out, cellWords(other)...)
+		}
+	}
+	return out
+}
+
+// ColNgrams returns the lowercase unigrams of every cell sharing a grid
+// column with the span's cell (the span's own cell is excluded).
+func ColNgrams(s Span) []string {
+	c := s.Cell()
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, other := range c.Table.Cells {
+		if other == c {
+			continue
+		}
+		if rangesOverlap(c.ColStart, c.ColEnd, other.ColStart, other.ColEnd) {
+			out = append(out, cellWords(other)...)
+		}
+	}
+	return out
+}
+
+// RowHeaderNgrams returns the lowercase unigrams of the leftmost cell
+// in the span's row (the conventional row header).
+func RowHeaderNgrams(s Span) []string {
+	c := s.Cell()
+	if c == nil {
+		return nil
+	}
+	h := c.Table.CellAt(c.RowStart, 0)
+	if h == nil || h == c {
+		return nil
+	}
+	return cellWords(h)
+}
+
+// ColHeaderNgrams returns the lowercase unigrams of the topmost cell in
+// the span's column (the conventional column header).
+func ColHeaderNgrams(s Span) []string {
+	c := s.Cell()
+	if c == nil {
+		return nil
+	}
+	h := c.Table.CellAt(0, c.ColStart)
+	if h == nil || h == c {
+		return nil
+	}
+	return cellWords(h)
+}
+
+func rangesOverlap(a0, a1, b0, b1 int) bool { return a0 <= b1 && b0 <= a1 }
+
+// SameTable reports whether both spans live in the same table.
+func SameTable(a, b Span) bool {
+	return a.Table() != nil && a.Table() == b.Table()
+}
+
+// SameRow reports whether both spans live in the same table and their
+// cells share a grid row.
+func SameRow(a, b Span) bool {
+	if !SameTable(a, b) {
+		return false
+	}
+	ca, cb := a.Cell(), b.Cell()
+	return rangesOverlap(ca.RowStart, ca.RowEnd, cb.RowStart, cb.RowEnd)
+}
+
+// SameCol reports whether both spans live in the same table and their
+// cells share a grid column.
+func SameCol(a, b Span) bool {
+	if !SameTable(a, b) {
+		return false
+	}
+	ca, cb := a.Cell(), b.Cell()
+	return rangesOverlap(ca.ColStart, ca.ColEnd, cb.ColStart, cb.ColEnd)
+}
+
+// SameCell reports whether both spans live in the same table cell.
+func SameCell(a, b Span) bool {
+	return a.Cell() != nil && a.Cell() == b.Cell()
+}
+
+// SameSentence reports whether both spans come from one sentence.
+func SameSentence(a, b Span) bool { return a.Sentence == b.Sentence }
+
+// SamePage reports whether both spans are rendered on the same page.
+func SamePage(a, b Span) bool {
+	return a.Page() >= 0 && a.Page() == b.Page()
+}
+
+// ManhattanDist returns the grid Manhattan distance between the two
+// spans' cells, or -1 when either span is not tabular.
+func ManhattanDist(a, b Span) int {
+	ca, cb := a.Cell(), b.Cell()
+	if ca == nil || cb == nil {
+		return -1
+	}
+	dr := ca.RowStart - cb.RowStart
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := ca.ColStart - cb.ColStart
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// alignTolerance is the layout-unit slack used when deciding whether
+// two boxes are visually aligned. Rendered text rarely lines up to the
+// exact unit, so alignment checks allow a small tolerance.
+const alignTolerance = 2.5
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= alignTolerance
+}
+
+// HorzAligned reports whether the spans are rendered on the same page
+// with vertically overlapping rows (i.e. side by side on one line).
+func HorzAligned(a, b Span) bool {
+	if !a.HasVisual() || !b.HasVisual() || !SamePage(a, b) {
+		return false
+	}
+	return near(a.BoundingBox().CenterY(), b.BoundingBox().CenterY())
+}
+
+// VertAligned reports whether the spans are rendered on the same page
+// in the same visual column (overlapping horizontal extents).
+func VertAligned(a, b Span) bool {
+	if !a.HasVisual() || !b.HasVisual() || !SamePage(a, b) {
+		return false
+	}
+	ba, bb := a.BoundingBox(), b.BoundingBox()
+	return ba.X0 <= bb.X1+alignTolerance && bb.X0 <= ba.X1+alignTolerance
+}
+
+// VertAlignedLeft reports whether the spans' left borders line up.
+func VertAlignedLeft(a, b Span) bool {
+	if !a.HasVisual() || !b.HasVisual() || !SamePage(a, b) {
+		return false
+	}
+	return near(a.BoundingBox().X0, b.BoundingBox().X0)
+}
+
+// VertAlignedRight reports whether the spans' right borders line up.
+func VertAlignedRight(a, b Span) bool {
+	if !a.HasVisual() || !b.HasVisual() || !SamePage(a, b) {
+		return false
+	}
+	return near(a.BoundingBox().X1, b.BoundingBox().X1)
+}
+
+// VertAlignedCenter reports whether the spans' horizontal centers line
+// up.
+func VertAlignedCenter(a, b Span) bool {
+	if !a.HasVisual() || !b.HasVisual() || !SamePage(a, b) {
+		return false
+	}
+	return near(a.BoundingBox().CenterX(), b.BoundingBox().CenterX())
+}
+
+// AlignedNgrams returns the lowercase lemmas (falling back to words) of
+// every other sentence on the span's page that is horizontally or
+// vertically aligned with it — the paper's ALIGNED feature and the
+// y_axis_aligned labeling-function idiom.
+func AlignedNgrams(s Span) []string {
+	if !s.HasVisual() {
+		return nil
+	}
+	var out []string
+	box := s.BoundingBox()
+	page := s.Page()
+	for _, other := range s.Doc().Sentences() {
+		if other == s.Sentence || !other.HasVisual() || other.Page() != page {
+			continue
+		}
+		ob := other.BoundingBox()
+		horz := near(box.CenterY(), ob.CenterY())
+		vert := box.X0 <= ob.X1+alignTolerance && ob.X0 <= box.X1+alignTolerance
+		if !horz && !vert {
+			continue
+		}
+		for i, w := range other.Words {
+			if len(other.Lemmas) == len(other.Words) && other.Lemmas[i] != "" {
+				out = append(out, strings.ToLower(other.Lemmas[i]))
+			} else {
+				out = append(out, strings.ToLower(w))
+			}
+		}
+	}
+	return out
+}
+
+// HorzAlignedNgrams returns the lowercase lemmas (falling back to
+// words) of sentences sharing the span's rendered line — horizontal
+// alignment only. This is the robust alignment cue for documents
+// whose tables were flattened to text by a lossy converter, where
+// vertical alignment across lines is meaningless.
+func HorzAlignedNgrams(s Span) []string {
+	if !s.HasVisual() {
+		return nil
+	}
+	var out []string
+	box := s.BoundingBox()
+	page := s.Page()
+	for _, other := range s.Doc().Sentences() {
+		if other == s.Sentence || !other.HasVisual() || other.Page() != page {
+			continue
+		}
+		if !near(box.CenterY(), other.BoundingBox().CenterY()) {
+			continue
+		}
+		for i, w := range other.Words {
+			if len(other.Lemmas) == len(other.Words) && other.Lemmas[i] != "" {
+				out = append(out, strings.ToLower(other.Lemmas[i]))
+			} else {
+				out = append(out, strings.ToLower(w))
+			}
+		}
+	}
+	return out
+}
+
+// CommonAncestorTags returns the HTML tags shared between the two
+// spans' structural ancestor paths, from the root downward, stopping at
+// the first divergence.
+func CommonAncestorTags(a, b Span) []string {
+	ta, tb := a.Sentence.AncestorTags, b.Sentence.AncestorTags
+	var out []string
+	for i := 0; i < len(ta) && i < len(tb); i++ {
+		if ta[i] != tb[i] {
+			break
+		}
+		out = append(out, ta[i])
+	}
+	return out
+}
+
+// MinDistToLCA returns the minimum of the two spans' distances (in
+// data-model edges) to their lowest common ancestor context — the
+// paper's LOWEST ANCESTOR DEPTH feature — or -1 when the spans share no
+// ancestor.
+func MinDistToLCA(a, b Span) int {
+	lca, da, db := LowestCommonAncestor(a.Sentence, b.Sentence)
+	if lca == nil {
+		return -1
+	}
+	if da < db {
+		return da
+	}
+	return db
+}
+
+// LCADepth returns the depth (distance from the Document root) of the
+// spans' lowest common ancestor. Deeper common ancestors indicate
+// structurally closer spans: two cells of one table share the Table
+// (depth 2) while a cell and a header text share only the Section
+// (depth 1). Returns -1 when the spans share no ancestor.
+func LCADepth(a, b Span) int {
+	lca, _, _ := LowestCommonAncestor(a.Sentence, b.Sentence)
+	if lca == nil {
+		return -1
+	}
+	return Depth(lca)
+}
+
+// Contains reports whether any of the needles occurs in haystack
+// (case-insensitive; needles must already be lowercase).
+func Contains(haystack []string, needles ...string) bool {
+	for _, h := range haystack {
+		for _, n := range needles {
+			if h == n {
+				return true
+			}
+		}
+	}
+	return false
+}

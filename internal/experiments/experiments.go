@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5, Section 6, Appendix C) against the
+// synthetic corpora. Each experiment returns a structured result and
+// renders the same rows or series the paper reports; EXPERIMENTS.md
+// records paper-vs-measured values. Absolute numbers differ from the
+// paper (different corpora, different hardware) — the reproduced
+// quantity is the shape: who wins, by roughly what factor, and where
+// the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Config sizes the experiment corpora and training budget.
+type Config struct {
+	Seed                                  int64
+	ElecDocs, AdsDocs, PaleoDocs, GenDocs int
+	Epochs                                int
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Seed: 42, ElecDocs: 40, AdsDocs: 60, PaleoDocs: 24, GenDocs: 30, Epochs: 16}
+}
+
+// FastConfig returns a small configuration for unit tests and quick
+// benchmark iterations.
+func FastConfig() Config {
+	return Config{Seed: 42, ElecDocs: 16, AdsDocs: 24, PaleoDocs: 8, GenDocs: 12, Epochs: 16}
+}
+
+// Domain couples a corpus with its display name.
+type Domain struct {
+	Name   string
+	Corpus *synth.Corpus
+}
+
+// Domains generates the four evaluation corpora (Table 1).
+func Domains(cfg Config) []Domain {
+	return []Domain{
+		{"ELEC.", synth.Electronics(cfg.Seed, cfg.ElecDocs)},
+		{"ADS.", synth.Ads(cfg.Seed+1, cfg.AdsDocs)},
+		{"PALEO.", synth.Paleo(cfg.Seed+2, cfg.PaleoDocs)},
+		{"GEN.", synth.Genomics(cfg.Seed+3, cfg.GenDocs)},
+	}
+}
+
+// runTask executes the standard pipeline for one task of a corpus.
+func runTask(c *synth.Corpus, taskIdx int, cfg Config, opts core.Options) core.Result {
+	task := c.Tasks[taskIdx]
+	train, test := c.Split()
+	if opts.Epochs == 0 {
+		opts.Epochs = cfg.Epochs
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	return core.Run(task, train, test, c.GoldTuples[task.Relation], opts)
+}
+
+// averageQuality runs the pipeline on every task of a corpus and
+// averages precision, recall and F1 — how the paper reports
+// multi-relation datasets.
+func averageQuality(c *synth.Corpus, cfg Config, opts core.Options) core.PRF {
+	var p, r float64
+	for i := range c.Tasks {
+		res := runTask(c, i, cfg, opts)
+		p += res.Quality.Precision
+		r += res.Quality.Recall
+	}
+	n := float64(len(c.Tasks))
+	avg := core.NewPRF(p/n, r/n)
+	return avg
+}
+
+// averageF1 averages per-task F1 directly (used where the paper
+// reports a single F1 series, e.g. Figures 6-8).
+func averageF1(c *synth.Corpus, cfg Config, opts core.Options) float64 {
+	f := 0.0
+	for i := range c.Tasks {
+		f += runTask(c, i, cfg, opts).Quality.F1
+	}
+	return f / float64(len(c.Tasks))
+}
+
+// table is a small fixed-width text-table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

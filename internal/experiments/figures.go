@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/labeling"
+	"repro/internal/synth"
+)
+
+// Figure4Point is one point of the throttling sweep.
+type Figure4Point struct {
+	FilterRatio float64 // fraction of candidates pruned
+	Quality     core.PRF
+	Seconds     float64
+	SpeedUp     float64 // relative to FilterRatio = 0
+}
+
+// Figure4Result reproduces Figure 4: quality and speedup vs the
+// fraction of candidates filtered by throttlers.
+type Figure4Result struct {
+	Points []Figure4Point
+}
+
+// Figure4 sweeps throttling strength on ELECTRONICS. Candidates that
+// fail the task's throttlers are pruned first (accurate filtering of
+// negatives); past that point pruning removes candidates blindly,
+// which cuts into recall — the paper's non-monotone quality curve.
+func Figure4(cfg Config) Figure4Result {
+	elec := synth.Electronics(cfg.Seed, cfg.ElecDocs)
+	task := elec.Tasks[0]
+	train, test := elec.Split()
+	gold := elec.GoldTuples[task.Relation]
+
+	ext := &candidates.Extractor{Args: task.Args, Scope: candidates.DocumentScope}
+	trainAll := ext.ExtractAll(train)
+	ext.Reset()
+	testAll := ext.ExtractAll(test)
+
+	keepFiltered := func(cands []*candidates.Candidate, ratio float64, seed int64) []*candidates.Candidate {
+		drop := int(ratio * float64(len(cands)))
+		// Order: candidates failing a throttler first, then the rest;
+		// shuffle within each class for tie-breaking.
+		rng := rand.New(rand.NewSource(seed))
+		var fail, pass []*candidates.Candidate
+		for _, c := range cands {
+			ok := true
+			for _, t := range task.Throttlers {
+				if !t(c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pass = append(pass, c)
+			} else {
+				fail = append(fail, c)
+			}
+		}
+		rng.Shuffle(len(fail), func(i, j int) { fail[i], fail[j] = fail[j], fail[i] })
+		rng.Shuffle(len(pass), func(i, j int) { pass[i], pass[j] = pass[j], pass[i] })
+		ordered := append(append([]*candidates.Candidate{}, fail...), pass...)
+		kept := ordered[min(drop, len(ordered)):]
+		// Restore deterministic order and densify IDs.
+		candidates.SortByKey(kept)
+		out := make([]*candidates.Candidate, len(kept))
+		for i, c := range kept {
+			cc := *c
+			cc.ID = i
+			out[i] = &cc
+		}
+		return out
+	}
+
+	var out Figure4Result
+	var baseSecs float64
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		tr := keepFiltered(trainAll, ratio, cfg.Seed+int64(ratio*100))
+		te := keepFiltered(testAll, ratio, cfg.Seed+1000+int64(ratio*100))
+		start := time.Now()
+		res := core.RunWithCandidates(task, tr, te, test, gold,
+			core.Options{Epochs: cfg.Epochs, Seed: cfg.Seed, NoThrottlers: true})
+		secs := time.Since(start).Seconds()
+		pt := Figure4Point{FilterRatio: ratio, Quality: res.Quality, Seconds: secs}
+		if ratio == 0 {
+			baseSecs = secs
+			pt.SpeedUp = 1
+		} else if secs > 0 {
+			pt.SpeedUp = baseSecs / secs
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}
+
+// String renders the Figure 4 series.
+func (r Figure4Result) String() string {
+	t := &table{header: []string{"% filtered", "Prec.", "Rec.", "F1", "secs", "speedup"}}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%.0f%%", 100*p.FilterRatio), f2(p.Quality.Precision),
+			f2(p.Quality.Recall), f2(p.Quality.F1), fmt.Sprintf("%.2f", p.Seconds),
+			fmt.Sprintf("%.1fx", p.SpeedUp))
+	}
+	return "Figure 4: throttling — quality and speedup vs filter ratio (ELEC)\n" + t.String()
+}
+
+// Figure6Result reproduces Figure 6: average F1 over the four
+// ELECTRONICS relations at each context scope.
+type Figure6Result struct {
+	Scopes []candidates.Scope
+	F1     []float64
+}
+
+// Figure6 runs the context-scope study.
+func Figure6(cfg Config) Figure6Result {
+	elec := synth.Electronics(cfg.Seed, cfg.ElecDocs)
+	out := Figure6Result{}
+	for _, scope := range []candidates.Scope{
+		candidates.SentenceScope, candidates.TableScope,
+		candidates.PageScope, candidates.DocumentScope,
+	} {
+		out.Scopes = append(out.Scopes, scope)
+		out.F1 = append(out.F1, averageF1(elec, cfg, core.Options{Scope: scope}))
+	}
+	return out
+}
+
+// String renders the Figure 6 series.
+func (r Figure6Result) String() string {
+	t := &table{header: []string{"Context scope", "Avg F1"}}
+	for i, s := range r.Scopes {
+		t.add(s.String(), f2(r.F1[i]))
+	}
+	return "Figure 6: average F1 vs context scope (ELEC, 4 relations)\n" + t.String()
+}
+
+// Figure7Row is one dataset's feature-ablation series.
+type Figure7Row struct {
+	Dataset      string
+	All          float64
+	NoTextual    float64
+	NoStructural float64
+	NoTabular    float64
+	NoVisual     float64
+}
+
+// Figure7Result reproduces Figure 7.
+type Figure7Result struct {
+	Rows []Figure7Row
+}
+
+// Figure7 disables one feature modality at a time on each dataset's
+// first task.
+func Figure7(cfg Config) Figure7Result {
+	var out Figure7Result
+	for _, d := range Domains(cfg) {
+		run := func(disabled ...features.Modality) float64 {
+			return runTask(d.Corpus, 0, cfg, core.Options{DisabledModalities: disabled}).Quality.F1
+		}
+		out.Rows = append(out.Rows, Figure7Row{
+			Dataset:      d.Name,
+			All:          run(),
+			NoTextual:    run(features.Textual),
+			NoStructural: run(features.Structural),
+			NoTabular:    run(features.Tabular),
+			NoVisual:     run(features.Visual),
+		})
+	}
+	return out
+}
+
+// String renders the Figure 7 series.
+func (r Figure7Result) String() string {
+	t := &table{header: []string{"Dataset", "All", "NoTextual", "NoStructural", "NoTabular", "NoVisual"}}
+	for _, row := range r.Rows {
+		t.add(row.Dataset, f2(row.All), f2(row.NoTextual), f2(row.NoStructural), f2(row.NoTabular), f2(row.NoVisual))
+	}
+	return "Figure 7: feature-modality ablation (F1)\n" + t.String()
+}
+
+// Figure8Row is one dataset's supervision-ablation series.
+type Figure8Row struct {
+	Dataset      string
+	All          float64
+	OnlyMetadata float64
+	OnlyTextual  float64
+}
+
+// Figure8Result reproduces Figure 8.
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// Figure8 partitions each task's labeling functions into textual and
+// metadata (structural/tabular/visual) pools.
+func Figure8(cfg Config) Figure8Result {
+	var out Figure8Result
+	for _, d := range Domains(cfg) {
+		task := d.Corpus.Tasks[0]
+		run := func(lfs []labeling.LF) float64 {
+			return runTask(d.Corpus, 0, cfg, core.Options{LFs: lfs}).Quality.F1
+		}
+		out.Rows = append(out.Rows, Figure8Row{
+			Dataset:      d.Name,
+			All:          run(task.LFs),
+			OnlyMetadata: run(labeling.MetadataOnly(task.LFs)),
+			OnlyTextual:  run(labeling.TextualOnly(task.LFs)),
+		})
+	}
+	return out
+}
+
+// String renders the Figure 8 series.
+func (r Figure8Result) String() string {
+	t := &table{header: []string{"Dataset", "All", "Only Metadata", "Only Textual"}}
+	for _, row := range r.Rows {
+		t.add(row.Dataset, f2(row.All), f2(row.OnlyMetadata), f2(row.OnlyTextual))
+	}
+	return "Figure 8: supervision-modality ablation (F1)\n" + t.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,420 @@
+// Package features implements Fonduer's extended feature library
+// (Section 4.2, Appendix B): the automatically generated structural,
+// tabular and visual features that augment the Bi-LSTM's textual
+// representation, plus textual context features used by the
+// human-tuned baseline. Feature generation traverses the data model to
+// compute features from the modality attributes stored in its nodes.
+//
+// The package also implements the mention-level feature cache of
+// Appendix C.1: because each mention participates in many candidates,
+// unary (per-mention) features are computed once per mention per
+// document and reused, which the paper measures at a 100x average
+// speedup in ELECTRONICS.
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/sparse"
+)
+
+// Modality classifies a feature by the data modality it derives from.
+type Modality int
+
+// The four modalities of richly formatted data.
+const (
+	Textual Modality = iota
+	Structural
+	Tabular
+	Visual
+)
+
+// String returns the modality's name.
+func (m Modality) String() string {
+	switch m {
+	case Textual:
+		return "textual"
+	case Structural:
+		return "structural"
+	case Tabular:
+		return "tabular"
+	case Visual:
+		return "visual"
+	default:
+		return fmt.Sprintf("modality(%d)", int(m))
+	}
+}
+
+// Feature is one named feature with its modality. Features are
+// represented as strings (Appendix B) and mapped to indicator columns
+// by an Index.
+type Feature struct {
+	Name     string
+	Modality Modality
+}
+
+// CacheStats reports mention-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int
+}
+
+// HitRate returns hits / (hits+misses), or 0 for an unused cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Extractor generates multimodal features for candidates. The zero
+// value is not usable; construct with NewExtractor.
+type Extractor struct {
+	// UseCache enables the Appendix C.1 mention-level cache.
+	UseCache bool
+	// Disabled switches off one or more modalities (the Figure 7
+	// feature-ablation knob).
+	Disabled map[Modality]bool
+
+	cache    map[string][]Feature
+	cacheDoc *datamodel.Document // cache is flushed per document
+	stats    CacheStats
+}
+
+// NewExtractor returns an extractor with caching enabled and all
+// modalities active.
+func NewExtractor() *Extractor {
+	return &Extractor{
+		UseCache: true,
+		Disabled: map[Modality]bool{},
+		cache:    map[string][]Feature{},
+	}
+}
+
+// Stats returns cache statistics accumulated so far.
+func (e *Extractor) Stats() CacheStats { return e.stats }
+
+// enabled reports whether a modality is active.
+func (e *Extractor) enabled(m Modality) bool { return !e.Disabled[m] }
+
+// Featurize returns the features of a candidate: the union of each
+// mention's unary features (prefixed by argument position) and the
+// binary features relating mention pairs.
+func (e *Extractor) Featurize(c *candidates.Candidate) []Feature {
+	// Flush the cache at document boundaries: Fonduer operates on
+	// documents atomically, so caching one document at a time bounds
+	// memory (Appendix C.1).
+	if doc := c.Doc(); doc != e.cacheDoc {
+		e.cacheDoc = doc
+		e.cache = map[string][]Feature{}
+	}
+	var out []Feature
+	for i, m := range c.Mentions {
+		prefix := fmt.Sprintf("e%d_", i)
+		for _, f := range e.mentionFeatures(m.Span) {
+			out = append(out, Feature{Name: prefix + f.Name, Modality: f.Modality})
+		}
+	}
+	for i := 0; i < len(c.Mentions); i++ {
+		for j := i + 1; j < len(c.Mentions); j++ {
+			out = append(out, e.pairFeatures(c.Mentions[i].Span, c.Mentions[j].Span)...)
+		}
+	}
+	return out
+}
+
+// mentionFeatures returns (and caches) the unary features of one span.
+func (e *Extractor) mentionFeatures(sp datamodel.Span) []Feature {
+	if e.UseCache {
+		if fs, ok := e.cache[sp.Key()]; ok {
+			e.stats.Hits++
+			return fs
+		}
+		e.stats.Misses++
+	}
+	fs := e.computeMentionFeatures(sp)
+	if e.UseCache {
+		e.cache[sp.Key()] = fs
+	}
+	return fs
+}
+
+func (e *Extractor) computeMentionFeatures(sp datamodel.Span) []Feature {
+	var out []Feature
+	add := func(m Modality, format string, args ...any) {
+		if e.enabled(m) {
+			out = append(out, Feature{Name: fmt.Sprintf(format, args...), Modality: m})
+		}
+	}
+	sent := sp.Sentence
+
+	// ---- Textual features (window and content n-grams). The LSTM
+	// learns deep textual context; these shallow ones serve the
+	// human-tuned baseline and the final-layer feature library.
+	if e.enabled(Textual) {
+		for i := sp.Start; i < sp.End; i++ {
+			add(Textual, "WORD_%s", strings.ToLower(sent.Words[i]))
+			if len(sent.Lemmas) == len(sent.Words) {
+				add(Textual, "LEMMA_%s", sent.Lemmas[i])
+			}
+			if len(sent.POS) == len(sent.Words) {
+				add(Textual, "POS_%s", sent.POS[i])
+			}
+			if len(sent.NER) == len(sent.Words) {
+				add(Textual, "NER_%s", sent.NER[i])
+			}
+		}
+		for w := 1; w <= 2; w++ {
+			if sp.Start-w >= 0 {
+				add(Textual, "LEFT%d_%s", w, strings.ToLower(sent.Words[sp.Start-w]))
+			}
+			if sp.End+w-1 < len(sent.Words) {
+				add(Textual, "RIGHT%d_%s", w, strings.ToLower(sent.Words[sp.End+w-1]))
+			}
+		}
+		add(Textual, "SPAN_LEN_%d", sp.Len())
+	}
+
+	// ---- Structural features (Table 7, structural unary rows).
+	if e.enabled(Structural) {
+		if sent.HTMLTag != "" {
+			add(Structural, "TAG_%s", sent.HTMLTag)
+		}
+		for k, v := range sent.HTMLAttrs {
+			if v == "" {
+				add(Structural, "HTML_ATTR_%s", k)
+			} else {
+				add(Structural, "HTML_ATTR_%s=%s", k, v)
+			}
+		}
+		if n := len(sent.AncestorTags); n > 0 {
+			add(Structural, "PARENT_TAG_%s", sent.AncestorTags[n-1])
+			add(Structural, "ANCESTOR_TAG_%s", strings.Join(sent.AncestorTags, ">"))
+		}
+		for _, cl := range sent.AncestorClasses {
+			add(Structural, "ANCESTOR_CLASS_%s", cl)
+		}
+		for _, id := range sent.AncestorIDs {
+			add(Structural, "ANCESTOR_ID_%s", id)
+		}
+		add(Structural, "NODE_POS_%d", sent.NodePos)
+		if sent.PrevSibTag != "" {
+			add(Structural, "PREV_SIB_TAG_%s", sent.PrevSibTag)
+		}
+		if sent.NextSibTag != "" {
+			add(Structural, "NEXT_SIB_TAG_%s", sent.NextSibTag)
+		}
+	}
+
+	// ---- Tabular features (Table 7, tabular unary rows).
+	if e.enabled(Tabular) {
+		if cell := sp.Cell(); cell != nil {
+			add(Tabular, "ROW_NUM_%d", cell.RowStart)
+			add(Tabular, "COL_NUM_%d", cell.ColStart)
+			add(Tabular, "ROW_SPAN_%d", cell.RowSpan())
+			add(Tabular, "COL_SPAN_%d", cell.ColSpan())
+			for _, g := range datamodel.CellNgrams(sp) {
+				add(Tabular, "CELL_%s", g)
+			}
+			for _, g := range datamodel.RowNgrams(sp) {
+				add(Tabular, "ROW_%s", g)
+			}
+			for _, g := range datamodel.ColNgrams(sp) {
+				add(Tabular, "COL_%s", g)
+			}
+			for _, g := range datamodel.RowHeaderNgrams(sp) {
+				add(Tabular, "ROW_HEAD_%s", g)
+			}
+			for _, g := range datamodel.ColHeaderNgrams(sp) {
+				add(Tabular, "COL_HEAD_%s", g)
+			}
+		} else {
+			add(Tabular, "NOT_IN_TABLE")
+		}
+	}
+
+	// ---- Visual features (Table 7, visual unary rows).
+	if e.enabled(Visual) && sp.HasVisual() {
+		add(Visual, "PAGE_%d", sp.Page())
+		for _, g := range datamodel.AlignedNgrams(sp) {
+			add(Visual, "ALIGNED_%s", g)
+		}
+		f := sent.Font
+		if f.Name != "" {
+			add(Visual, "FONT_%s", f.Name)
+		}
+		if f.Size > 0 {
+			add(Visual, "FONT_SIZE_%d", int(f.Size))
+		}
+		if f.Bold {
+			add(Visual, "FONT_BOLD")
+		}
+		if f.Italic {
+			add(Visual, "FONT_ITALIC")
+		}
+	}
+	return out
+}
+
+// pairFeatures returns the binary features relating two spans
+// (Table 7, binary rows).
+func (e *Extractor) pairFeatures(a, b datamodel.Span) []Feature {
+	var out []Feature
+	add := func(m Modality, format string, args ...any) {
+		if e.enabled(m) {
+			out = append(out, Feature{Name: fmt.Sprintf(format, args...), Modality: m})
+		}
+	}
+
+	if e.enabled(Structural) {
+		if tags := datamodel.CommonAncestorTags(a, b); len(tags) > 0 {
+			add(Structural, "COMMON_ANCESTOR_%s", strings.Join(tags, ">"))
+		}
+		if d := datamodel.MinDistToLCA(a, b); d >= 0 {
+			add(Structural, "LOWEST_ANCESTOR_DEPTH_%d", d)
+		}
+		if d := datamodel.LCADepth(a, b); d >= 0 {
+			add(Structural, "LCA_DEPTH_%d", d)
+		}
+	}
+
+	if e.enabled(Tabular) {
+		ca, cb := a.Cell(), b.Cell()
+		switch {
+		case datamodel.SameTable(a, b):
+			add(Tabular, "SAME_TABLE")
+			add(Tabular, "SAME_TABLE_ROW_DIFF_%d", absInt(ca.RowStart-cb.RowStart))
+			add(Tabular, "SAME_TABLE_COL_DIFF_%d", absInt(ca.ColStart-cb.ColStart))
+			add(Tabular, "SAME_TABLE_MANHATTAN_DIST_%d", datamodel.ManhattanDist(a, b))
+			if datamodel.SameCell(a, b) {
+				add(Tabular, "SAME_CELL")
+				if datamodel.SameSentence(a, b) {
+					add(Tabular, "SAME_PHRASE")
+					add(Tabular, "WORD_DIFF_%d", wordDiff(a, b))
+					add(Tabular, "CHAR_DIFF_%d", charDiff(a, b))
+				}
+			}
+			if datamodel.SameRow(a, b) {
+				add(Tabular, "SAME_ROW")
+			}
+			if datamodel.SameCol(a, b) {
+				add(Tabular, "SAME_COL")
+			}
+		case ca != nil && cb != nil:
+			add(Tabular, "DIFF_TABLE")
+			add(Tabular, "DIFF_TABLE_ROW_DIFF_%d", absInt(ca.RowStart-cb.RowStart))
+			add(Tabular, "DIFF_TABLE_COL_DIFF_%d", absInt(ca.ColStart-cb.ColStart))
+			add(Tabular, "DIFF_TABLE_MANHATTAN_DIST_%d", absInt(ca.RowStart-cb.RowStart)+absInt(ca.ColStart-cb.ColStart))
+		}
+	}
+
+	if e.enabled(Visual) && a.HasVisual() && b.HasVisual() {
+		if datamodel.SamePage(a, b) {
+			add(Visual, "SAME_PAGE")
+		}
+		if datamodel.HorzAligned(a, b) {
+			add(Visual, "HORZ_ALIGNED")
+		}
+		if datamodel.VertAligned(a, b) {
+			add(Visual, "VERT_ALIGNED")
+		}
+		if datamodel.VertAlignedLeft(a, b) {
+			add(Visual, "VERT_ALIGNED_LEFT")
+		}
+		if datamodel.VertAlignedRight(a, b) {
+			add(Visual, "VERT_ALIGNED_RIGHT")
+		}
+		if datamodel.VertAlignedCenter(a, b) {
+			add(Visual, "VERT_ALIGNED_CENTER")
+		}
+		add(Visual, "PAGE_DIFF_%d", absInt(a.Page()-b.Page()))
+	}
+	return out
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// wordDiff is the word distance between two spans of one sentence.
+func wordDiff(a, b datamodel.Span) int {
+	if a.Start >= b.End {
+		return a.Start - b.End + 1
+	}
+	if b.Start >= a.End {
+		return b.Start - a.End + 1
+	}
+	return 0
+}
+
+// charDiff is the character distance between two spans of one sentence.
+func charDiff(a, b datamodel.Span) int {
+	lo, hi := a, b
+	if b.Start < a.Start {
+		lo, hi = b, a
+	}
+	n := 0
+	for i := lo.End; i < hi.Start && i < len(a.Sentence.Words); i++ {
+		n += len(a.Sentence.Words[i]) + 1
+	}
+	return n
+}
+
+// Index maps feature names to dense column ids, the relation
+// Features(id_candidate, ...) of Section 3.2. Index can be frozen so
+// test-set featurization cannot grow the feature space.
+type Index struct {
+	ids    map[string]int
+	names  []string
+	frozen bool
+}
+
+// NewIndex returns an empty feature index.
+func NewIndex() *Index { return &Index{ids: map[string]int{}} }
+
+// ID returns the column for a feature name, allocating unless frozen
+// (frozen indexes return -1 for unseen names).
+func (ix *Index) ID(name string) int {
+	if id, ok := ix.ids[name]; ok {
+		return id
+	}
+	if ix.frozen {
+		return -1
+	}
+	id := len(ix.names)
+	ix.ids[name] = id
+	ix.names = append(ix.names, name)
+	return id
+}
+
+// Name returns the feature name for a column id.
+func (ix *Index) Name(id int) string {
+	if id < 0 || id >= len(ix.names) {
+		return ""
+	}
+	return ix.names[id]
+}
+
+// Len returns the number of distinct features seen.
+func (ix *Index) Len() int { return len(ix.names) }
+
+// Freeze stops the index from growing.
+func (ix *Index) Freeze() { ix.frozen = true }
+
+// FeaturizeAll featurizes a candidate set into a sparse indicator
+// matrix (rows = candidate IDs, columns = feature ids), growing the
+// index as needed. This materializes the Features relation.
+func FeaturizeAll(e *Extractor, ix *Index, cands []*candidates.Candidate, m sparse.Matrix) {
+	for _, c := range cands {
+		for _, f := range e.Featurize(c) {
+			if id := ix.ID(f.Name); id >= 0 {
+				m.Set(c.ID, id, 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package kbase is a small in-memory relational engine playing the
+// role PostgreSQL plays in the paper's implementation: it stores the
+// target knowledge base (the relations Fonduer populates) plus the
+// intermediate Candidates/Features/Labels relations, with schemas,
+// typed columns, uniqueness constraints, predicates, and set
+// operations used by the evaluation (coverage and accuracy against an
+// existing knowledge base).
+package kbase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColType enumerates supported column types.
+type ColType int
+
+// Column types.
+const (
+	StringCol ColType = iota
+	IntCol
+	FloatCol
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case StringCol:
+		return "varchar"
+	case IntCol:
+		return "integer"
+	case FloatCol:
+		return "float"
+	default:
+		return fmt.Sprintf("coltype(%d)", int(t))
+	}
+}
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a relation: its name and typed columns. This is the
+// KB schema S_R(T1, ..., Tn) the user specifies during KBC
+// initialization.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// NewSchema constructs a schema. Column specs take the form
+// "name:type" with type in {varchar, integer, float}; a bare "name"
+// defaults to varchar.
+func NewSchema(name string, colSpecs ...string) (Schema, error) {
+	if name == "" {
+		return Schema{}, fmt.Errorf("kbase: schema needs a name")
+	}
+	if len(colSpecs) == 0 {
+		return Schema{}, fmt.Errorf("kbase: schema %s needs at least one column", name)
+	}
+	s := Schema{Name: name}
+	seen := map[string]bool{}
+	for _, spec := range colSpecs {
+		parts := strings.SplitN(spec, ":", 2)
+		col := Column{Name: parts[0], Type: StringCol}
+		if col.Name == "" {
+			return Schema{}, fmt.Errorf("kbase: schema %s: empty column name", name)
+		}
+		if seen[col.Name] {
+			return Schema{}, fmt.Errorf("kbase: schema %s: duplicate column %q", name, col.Name)
+		}
+		seen[col.Name] = true
+		if len(parts) == 2 {
+			switch parts[1] {
+			case "varchar", "text", "":
+				col.Type = StringCol
+			case "integer", "int":
+				col.Type = IntCol
+			case "float", "real":
+				col.Type = FloatCol
+			default:
+				return Schema{}, fmt.Errorf("kbase: schema %s: unknown type %q", name, parts[1])
+			}
+		}
+		s.Columns = append(s.Columns, col)
+	}
+	return s, nil
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Columns) }
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SQL renders the schema as a CREATE TABLE statement (Example 3.2).
+func (s Schema) SQL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (\n", s.Name)
+	for i, c := range s.Columns {
+		fmt.Fprintf(&sb, "    %s %s", c.Name, c.Type)
+		if i < len(s.Columns)-1 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(");")
+	return sb.String()
+}
+
+// Tuple is one row of a relation. Values are strings, int64s or
+// float64s matching the schema's column types.
+type Tuple []any
+
+// Table stores the tuples of one relation with set semantics over the
+// full tuple (inserting a duplicate is a no-op, as relation mentions
+// are de-duplicated when populating the KB).
+type Table struct {
+	schema Schema
+	tuples []Tuple
+	index  map[string]int // canonical key -> position in tuples
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(schema Schema) *Table {
+	return &Table{schema: schema, index: map[string]int{}}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of stored tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// key canonicalizes a tuple for set membership.
+func (t *Table) key(tp Tuple) string {
+	parts := make([]string, len(tp))
+	for i, v := range tp {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// typeOK checks a value against a column type.
+func typeOK(v any, ct ColType) bool {
+	switch ct {
+	case StringCol:
+		_, ok := v.(string)
+		return ok
+	case IntCol:
+		_, ok := v.(int64)
+		if !ok {
+			_, ok = v.(int)
+		}
+		return ok
+	case FloatCol:
+		_, ok := v.(float64)
+		return ok
+	}
+	return false
+}
+
+// Insert adds a tuple, enforcing arity and column types. Duplicate
+// tuples are ignored. It reports whether the tuple was newly added.
+func (t *Table) Insert(tp Tuple) (bool, error) {
+	if len(tp) != t.schema.Arity() {
+		return false, fmt.Errorf("kbase: %s: arity %d, got %d values", t.schema.Name, t.schema.Arity(), len(tp))
+	}
+	norm := make(Tuple, len(tp))
+	for i, v := range tp {
+		if iv, ok := v.(int); ok {
+			v = int64(iv)
+		}
+		if !typeOK(v, t.schema.Columns[i].Type) {
+			return false, fmt.Errorf("kbase: %s.%s: value %v (%T) does not match %s",
+				t.schema.Name, t.schema.Columns[i].Name, v, v, t.schema.Columns[i].Type)
+		}
+		norm[i] = v
+	}
+	k := t.key(norm)
+	if _, dup := t.index[k]; dup {
+		return false, nil
+	}
+	t.index[k] = len(t.tuples)
+	t.tuples = append(t.tuples, norm)
+	return true, nil
+}
+
+// Contains reports whether an identical tuple is stored.
+func (t *Table) Contains(tp Tuple) bool {
+	if len(tp) != t.schema.Arity() {
+		return false
+	}
+	norm := make(Tuple, len(tp))
+	for i, v := range tp {
+		if iv, ok := v.(int); ok {
+			v = int64(iv)
+		}
+		norm[i] = v
+	}
+	_, ok := t.index[t.key(norm)]
+	return ok
+}
+
+// Scan calls fn for every tuple in insertion order; fn returning false
+// stops the scan.
+func (t *Table) Scan(fn func(Tuple) bool) {
+	for _, tp := range t.tuples {
+		if !fn(tp) {
+			return
+		}
+	}
+}
+
+// Select returns the tuples satisfying the predicate.
+func (t *Table) Select(pred func(Tuple) bool) []Tuple {
+	var out []Tuple
+	for _, tp := range t.tuples {
+		if pred(tp) {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// Tuples returns a copy of the stored tuples.
+func (t *Table) Tuples() []Tuple {
+	out := make([]Tuple, len(t.tuples))
+	copy(out, t.tuples)
+	return out
+}
+
+// DB is a collection of named tables — the knowledge base.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Create creates a table for the schema. Creating an existing table is
+// an error (the pipeline initializes each KB exactly once).
+func (db *DB) Create(schema Schema) (*Table, error) {
+	if _, exists := db.tables[schema.Name]; exists {
+		return nil, fmt.Errorf("kbase: table %s already exists", schema.Name)
+	}
+	t := NewTable(schema)
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Names returns the sorted table names.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compare summarizes how table got relates to an existing reference
+// table ref with an identical schema, the comparison Table 3 of the
+// paper performs against expert-curated knowledge bases:
+//
+//	Coverage  = |got ∩ ref| / |ref|   (how much of the existing KB we found)
+//	NewEntries = |got \ ref|           (entries we found beyond the KB)
+type Comparison struct {
+	RefEntries int
+	GotEntries int
+	Overlap    int
+	NewEntries int
+	Coverage   float64
+}
+
+// Compare computes the Table 3 comparison between got and ref.
+func Compare(got, ref *Table) Comparison {
+	c := Comparison{RefEntries: ref.Len(), GotEntries: got.Len()}
+	got.Scan(func(tp Tuple) bool {
+		if ref.Contains(tp) {
+			c.Overlap++
+		} else {
+			c.NewEntries++
+		}
+		return true
+	})
+	if ref.Len() > 0 {
+		c.Coverage = float64(c.Overlap) / float64(ref.Len())
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package kbase
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serializes the table as tab-separated values with a header
+// line of "name:type" column specs, so a table round-trips through
+// ReadTSV with its schema intact.
+func (t *Table) WriteTSV(w io.Writer) error {
+	specs := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		specs[i] = c.Name + ":" + c.Type.String()
+	}
+	if _, err := fmt.Fprintf(w, "#%s\t%s\n", t.schema.Name, strings.Join(specs, "\t")); err != nil {
+		return err
+	}
+	var firstErr error
+	t.Scan(func(tp Tuple) bool {
+		parts := make([]string, len(tp))
+		for i, v := range tp {
+			parts[i] = fmt.Sprint(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, "\t")); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// ReadTSV parses a table previously written by WriteTSV, rebuilding
+// the schema from the header line and type-converting every value.
+func ReadTSV(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("kbase: reading TSV header: %w", err)
+		}
+		return nil, fmt.Errorf("kbase: empty TSV input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "#") {
+		return nil, fmt.Errorf("kbase: TSV header must start with '#', got %q", header)
+	}
+	fields := strings.Split(header[1:], "\t")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("kbase: malformed TSV header %q", header)
+	}
+	name := fields[0]
+	specs := make([]string, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		// Normalize "col:varchar" etc. back into NewSchema's grammar.
+		specs = append(specs, strings.Replace(f, ":varchar", "", 1))
+	}
+	schema, err := NewSchema(name, specs...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != schema.Arity() {
+			return nil, fmt.Errorf("kbase: TSV line %d: %d values, want %d", lineNo, len(parts), schema.Arity())
+		}
+		tp := make(Tuple, len(parts))
+		for i, p := range parts {
+			switch schema.Columns[i].Type {
+			case IntCol:
+				v, err := strconv.ParseInt(p, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("kbase: TSV line %d: %v", lineNo, err)
+				}
+				tp[i] = v
+			case FloatCol:
+				v, err := strconv.ParseFloat(p, 64)
+				if err != nil {
+					return nil, fmt.Errorf("kbase: TSV line %d: %v", lineNo, err)
+				}
+				tp[i] = v
+			default:
+				tp[i] = p
+			}
+		}
+		if _, err := t.Insert(tp); err != nil {
+			return nil, fmt.Errorf("kbase: TSV line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kbase: reading TSV: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package kbase
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	s, err := NewSchema("HasCollectorCurrent", "part", "ma:int", "score:float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(s)
+	rows := []Tuple{
+		{"SMBT3904", int64(200), 0.97},
+		{"BC337", int64(800), 0.91},
+	}
+	for _, r := range rows {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema().Name != "HasCollectorCurrent" || got.Schema().Arity() != 3 {
+		t.Fatalf("schema = %+v", got.Schema())
+	}
+	if got.Schema().Columns[1].Type != IntCol || got.Schema().Columns[2].Type != FloatCol {
+		t.Fatalf("column types = %+v", got.Schema().Columns)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for _, r := range rows {
+		if !got.Contains(r) {
+			t.Fatalf("missing tuple %v", r)
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	bad := []string{
+		"",                            // empty
+		"no-hash\tpart\n",             // missing '#'
+		"#r\n",                        // no columns
+		"#r\ta\tb\nx\n",               // arity mismatch
+		"#r\tn:integer\nnotanumber\n", // bad int
+		"#r\tf:float\nnotafloat\n",    // bad float
+	}
+	for _, src := range bad {
+		if _, err := ReadTSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadTSV(%q) should error", src)
+		}
+	}
+}

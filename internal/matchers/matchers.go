@@ -1,0 +1,242 @@
+// Package matchers implements Fonduer's mention matchers: the
+// user-provided functions that specify what a mention of each schema
+// type looks like (Section 3.2, Phase 2). A matcher accepts a span of
+// text — which carries a reference to its position in the data model —
+// and reports whether the match conditions are met.
+//
+// Matchers range from regular expressions and dictionaries to
+// arbitrary functions over multimodal signals; combinators compose
+// them. Extract applies a matcher to every span of a document,
+// returning the longest non-overlapping matching spans (so "collector
+// current" wins over its single-word sub-spans).
+package matchers
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/datamodel"
+)
+
+// Matcher decides whether a span is a mention of some type.
+type Matcher interface {
+	// Match reports whether the span satisfies the matcher.
+	Match(datamodel.Span) bool
+	// Name identifies the matcher in diagnostics.
+	Name() string
+}
+
+// Func adapts an arbitrary function to the Matcher interface — the
+// escape hatch for multimodal match conditions.
+type Func struct {
+	MatcherName string
+	Fn          func(datamodel.Span) bool
+}
+
+// Match implements Matcher.
+func (f Func) Match(s datamodel.Span) bool { return f.Fn(s) }
+
+// Name implements Matcher.
+func (f Func) Name() string {
+	if f.MatcherName == "" {
+		return "func"
+	}
+	return f.MatcherName
+}
+
+// Regex matches spans whose full text matches the anchored pattern.
+type Regex struct {
+	re *regexp.Regexp
+}
+
+// NewRegex compiles an anchored regex matcher; the pattern must match
+// the span's entire text.
+func NewRegex(pattern string) (Regex, error) {
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return Regex{}, err
+	}
+	return Regex{re: re}, nil
+}
+
+// MustRegex is NewRegex that panics on a bad pattern; for literals.
+func MustRegex(pattern string) Regex {
+	m, err := NewRegex(pattern)
+	if err != nil {
+		panic("matchers: " + err.Error())
+	}
+	return m
+}
+
+// Match implements Matcher.
+func (m Regex) Match(s datamodel.Span) bool { return m.re.MatchString(s.Text()) }
+
+// Name implements Matcher.
+func (m Regex) Name() string { return "regex(" + m.re.String() + ")" }
+
+// Dictionary matches spans whose text appears in a fixed set
+// (case-insensitive), e.g. a catalog of valid transistor parts.
+type Dictionary struct {
+	name    string
+	entries map[string]bool
+	maxLen  int
+}
+
+// NewDictionary builds a dictionary matcher from entries. Multi-word
+// entries match multi-word spans.
+func NewDictionary(name string, entries ...string) Dictionary {
+	d := Dictionary{name: name, entries: make(map[string]bool, len(entries)), maxLen: 1}
+	for _, e := range entries {
+		norm := strings.ToLower(strings.Join(strings.Fields(e), " "))
+		d.entries[norm] = true
+		if n := len(strings.Fields(e)); n > d.maxLen {
+			d.maxLen = n
+		}
+	}
+	return d
+}
+
+// Match implements Matcher.
+func (d Dictionary) Match(s datamodel.Span) bool {
+	if s.Len() > d.maxLen {
+		return false
+	}
+	return d.entries[strings.ToLower(s.Text())]
+}
+
+// Name implements Matcher.
+func (d Dictionary) Name() string { return "dict(" + d.name + ")" }
+
+// NumberRange matches single-token spans that parse as a number within
+// [Min, Max] — the paper's "numerical value between 100 and 995"
+// example matcher.
+type NumberRange struct {
+	Min, Max float64
+}
+
+// Match implements Matcher.
+func (m NumberRange) Match(s datamodel.Span) bool {
+	if s.Len() != 1 {
+		return false
+	}
+	v, err := strconv.ParseFloat(strings.ReplaceAll(s.Text(), ",", ""), 64)
+	if err != nil {
+		return false
+	}
+	return v >= m.Min && v <= m.Max
+}
+
+// Name implements Matcher.
+func (m NumberRange) Name() string { return "numrange" }
+
+// Union matches when any sub-matcher matches.
+type Union []Matcher
+
+// Match implements Matcher.
+func (u Union) Match(s datamodel.Span) bool {
+	for _, m := range u {
+		if m.Match(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Matcher.
+func (u Union) Name() string { return combineNames("union", u) }
+
+// Intersect matches when every sub-matcher matches.
+type Intersect []Matcher
+
+// Match implements Matcher.
+func (x Intersect) Match(s datamodel.Span) bool {
+	for _, m := range x {
+		if !m.Match(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Matcher.
+func (x Intersect) Name() string { return combineNames("intersect", x) }
+
+// Negate inverts a matcher; combine with Intersect for exclusions.
+type Negate struct{ M Matcher }
+
+// Match implements Matcher.
+func (n Negate) Match(s datamodel.Span) bool { return !n.M.Match(s) }
+
+// Name implements Matcher.
+func (n Negate) Name() string { return "not(" + n.M.Name() + ")" }
+
+func combineNames(op string, ms []Matcher) string {
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return op + "(" + strings.Join(names, ",") + ")"
+}
+
+// Extract applies the matcher to every span of every sentence of the
+// document (spans up to maxSpanLen words) and returns the matches.
+// Overlapping matches within a sentence are resolved longest-first,
+// earliest-first, so a multi-word mention suppresses its sub-spans.
+func Extract(d *datamodel.Document, m Matcher, maxSpanLen int) []datamodel.Span {
+	var out []datamodel.Span
+	for _, sent := range d.Sentences() {
+		out = append(out, extractSentence(sent, m, maxSpanLen)...)
+	}
+	return out
+}
+
+func extractSentence(sent *datamodel.Sentence, m Matcher, maxSpanLen int) []datamodel.Span {
+	var matches []datamodel.Span
+	for _, sp := range datamodel.AllSpans(sent, maxSpanLen) {
+		if m.Match(sp) {
+			matches = append(matches, sp)
+		}
+	}
+	if len(matches) <= 1 {
+		return matches
+	}
+	// Longest-first greedy selection of non-overlapping spans.
+	ordered := make([]datamodel.Span, len(matches))
+	copy(ordered, matches)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ordered[j-1], ordered[j]
+			if b.Len() > a.Len() || (b.Len() == a.Len() && b.Start < a.Start) {
+				ordered[j-1], ordered[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	taken := make([]bool, len(sent.Words))
+	var out []datamodel.Span
+	for _, sp := range ordered {
+		free := true
+		for i := sp.Start; i < sp.End; i++ {
+			if taken[i] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for i := sp.Start; i < sp.End; i++ {
+			taken[i] = true
+		}
+		out = append(out, sp)
+	}
+	// Restore document order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+// Package model implements Fonduer's discriminative models: the
+// multimodal recurrent network of Section 4.2 (a bidirectional LSTM
+// with word attention over each mention's sentence, with candidate
+// markers, whose last layer combines the textual representation with
+// the extended feature library), and the baselines Section 5.3.3
+// compares against — a text-only Bi-LSTM with attention, a human-tuned
+// sparse feature model, an SRV-style HTML-feature learner, and the
+// document-level RNN.
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/neural"
+	"repro/internal/nlp"
+)
+
+// Example is one training or inference instance: a candidate, its
+// active extended-feature columns, and (for training) the marginal
+// probability produced by the generative label model.
+type Example struct {
+	Cand        *candidates.Candidate
+	SparseFeats []int
+	// Marginal is the noise-aware training target P(y = true).
+	Marginal float64
+}
+
+// Config selects the model variant and its dimensions.
+type Config struct {
+	// EmbedDim is the word-embedding dimension (default 16).
+	EmbedDim int
+	// HidDim is the per-direction LSTM hidden size (default 16).
+	HidDim int
+	// AttDim is the attention space dimension (default 16).
+	AttDim int
+	// NumFeatures is the extended-feature space size (required when
+	// UseSparse).
+	NumFeatures int
+	// NumMentions is the relation arity (required when UseText).
+	NumMentions int
+
+	// UseText enables the per-mention Bi-LSTM + attention encoder.
+	UseText bool
+	// UseSparse enables the extended feature library in the last layer.
+	UseSparse bool
+	// DocLevel replaces the per-mention encoder with one Bi-LSTM over
+	// the whole document sequence (the Table 6 baseline).
+	DocLevel bool
+	// UseMaxPool replaces attention with max pooling (ablation).
+	UseMaxPool bool
+
+	// MaxSentTokens caps tokens per mention context window (default 24).
+	MaxSentTokens int
+	// MaxDocTokens caps the document-level sequence (default 400).
+	MaxDocTokens int
+	// Seed makes initialization and shuffling deterministic.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 16
+	}
+	if c.HidDim <= 0 {
+		c.HidDim = 16
+	}
+	if c.AttDim <= 0 {
+		c.AttDim = 16
+	}
+	if c.MaxSentTokens <= 0 {
+		c.MaxSentTokens = 24
+	}
+	if c.MaxDocTokens <= 0 {
+		c.MaxDocTokens = 400
+	}
+}
+
+// Model is a trainable candidate classifier.
+type Model struct {
+	cfg   Config
+	vocab *nlp.Vocab
+	emb   *neural.Embedding
+	bi    *neural.BiLSTM
+	att   *neural.Attention
+	// headText maps the concatenated mention representations to the
+	// two class logits; headSparse adds the feature-library logits.
+	headText   *neural.Linear
+	headSparse *neural.Mat
+	bias       *neural.Mat
+	params     neural.Params
+	rng        *rand.Rand
+}
+
+// New constructs a model for the given configuration and candidate
+// sample (used to build the vocabulary before training).
+func New(cfg Config, sample []Example) *Model {
+	cfg.defaults()
+	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	m.vocab = nlp.NewVocab()
+	if cfg.UseText || cfg.DocLevel {
+		for _, ex := range sample {
+			for _, tok := range m.tokens(ex) {
+				m.vocab.ID(tok)
+			}
+		}
+		m.vocab.Freeze()
+		hashed := nlp.NewEmbedder(cfg.EmbedDim)
+		m.emb = neural.NewEmbedding(m.vocab.Len(), cfg.EmbedDim, m.rng, func(id int) []float64 {
+			return hashed.Embed(m.vocab.Word(id))
+		})
+		m.bi = neural.NewBiLSTM(cfg.EmbedDim, cfg.HidDim, m.rng)
+		m.att = neural.NewAttention(m.bi.OutDim(), cfg.AttDim, m.rng)
+		textDim := cfg.AttDim * cfg.NumMentions
+		if cfg.DocLevel {
+			textDim = cfg.AttDim
+		}
+		m.headText = neural.NewLinear(textDim, 2, m.rng)
+		m.params = append(m.params, m.emb.Params()...)
+		m.params = append(m.params, m.bi.Params()...)
+		m.params = append(m.params, m.att.Params()...)
+		m.params = append(m.params, m.headText.Params()...)
+	}
+	if cfg.UseSparse {
+		m.headSparse = neural.NewMat(2, cfg.NumFeatures)
+		m.params = append(m.params, m.headSparse)
+	}
+	m.bias = neural.NewMat(2, 1)
+	m.params = append(m.params, m.bias)
+	return m
+}
+
+// tokens produces the model's token sequence(s) for a candidate,
+// flattened (mention sequences are encoded separately at forward time;
+// this flattening is only for vocabulary building).
+func (m *Model) tokens(ex Example) []string {
+	var out []string
+	if m.cfg.DocLevel {
+		return docTokens(ex.Cand, m.cfg.MaxDocTokens)
+	}
+	for i := range ex.Cand.Mentions {
+		out = append(out, mentionTokens(ex.Cand, i, m.cfg.MaxSentTokens)...)
+	}
+	return out
+}
+
+// mentionTokens returns the lowercased context window of mention i
+// with the paper's candidate markers ([[i ... i]]) inserted around the
+// mention to draw the network's attention to the candidate itself.
+func mentionTokens(c *candidates.Candidate, i, maxTokens int) []string {
+	sp := c.Mentions[i].Span
+	words := sp.Sentence.Words
+	// Window around the span.
+	half := (maxTokens - sp.Len() - 2) / 2
+	if half < 1 {
+		half = 1
+	}
+	lo := sp.Start - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi := sp.End + half
+	if hi > len(words) {
+		hi = len(words)
+	}
+	out := make([]string, 0, hi-lo+2)
+	for k := lo; k < hi; k++ {
+		if k == sp.Start {
+			out = append(out, marker(i, true))
+		}
+		out = append(out, strings.ToLower(words[k]))
+		if k == sp.End-1 {
+			out = append(out, marker(i, false))
+		}
+	}
+	return out
+}
+
+func marker(i int, open bool) string {
+	if open {
+		return "[[" + string(rune('0'+i))
+	}
+	return string(rune('0'+i)) + "]]"
+}
+
+// docTokens returns the whole document's lowercased word sequence with
+// markers at the mention positions, capped to maxTokens centered on
+// the first mention (the document-level RNN's input).
+func docTokens(c *candidates.Candidate, maxTokens int) []string {
+	doc := c.Doc()
+	type markerPos struct {
+		sent  int
+		word  int
+		token string
+	}
+	var markers []markerPos
+	for i, men := range c.Mentions {
+		markers = append(markers,
+			markerPos{men.Span.Sentence.Position, men.Span.Start, marker(i, true)},
+			markerPos{men.Span.Sentence.Position, men.Span.End, marker(i, false)})
+	}
+	var out []string
+	for _, s := range doc.Sentences() {
+		for w := 0; w <= len(s.Words); w++ {
+			for _, mk := range markers {
+				if mk.sent == s.Position && mk.word == w {
+					out = append(out, mk.token)
+				}
+			}
+			if w < len(s.Words) {
+				out = append(out, strings.ToLower(s.Words[w]))
+			}
+		}
+	}
+	if len(out) > maxTokens {
+		// Keep a window starting at the first marker.
+		first := 0
+		for i, tok := range out {
+			if strings.HasPrefix(tok, "[[") {
+				first = i
+				break
+			}
+		}
+		lo := first - maxTokens/4
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + maxTokens
+		if hi > len(out) {
+			hi = len(out)
+			lo = hi - maxTokens
+		}
+		out = out[lo:hi]
+	}
+	return out
+}
+
+// forward builds the candidate's logits on a fresh tape.
+func (m *Model) forward(t *neural.Tape, ex Example) *neural.Vec {
+	logits := m.bias.AsVec()
+	if m.cfg.DocLevel {
+		seq := m.encodeSeq(t, docTokens(ex.Cand, m.cfg.MaxDocTokens))
+		logits = t.Add(logits, m.headText.Apply(t, seq))
+	} else if m.cfg.UseText {
+		reps := make([]*neural.Vec, len(ex.Cand.Mentions))
+		for i := range ex.Cand.Mentions {
+			reps[i] = m.encodeSeq(t, mentionTokens(ex.Cand, i, m.cfg.MaxSentTokens))
+		}
+		logits = t.Add(logits, m.headText.Apply(t, t.Concat(reps...)))
+	}
+	if m.cfg.UseSparse {
+		logits = t.Add(logits, t.SparseLinear(m.headSparse, ex.SparseFeats))
+	}
+	return logits
+}
+
+// encodeSeq embeds a token sequence, runs the Bi-LSTM, and aggregates
+// with attention (or max pooling in the ablation variant).
+func (m *Model) encodeSeq(t *neural.Tape, toks []string) *neural.Vec {
+	if len(toks) == 0 {
+		toks = []string{"<pad>"}
+	}
+	xs := make([]*neural.Vec, len(toks))
+	for i, tok := range toks {
+		xs[i] = m.emb.Lookup(m.vocab.ID(tok))
+	}
+	hs := m.bi.Run(t, xs)
+	if m.cfg.UseMaxPool {
+		// Project pooled hidden state into the attention dimension so
+		// head shapes stay identical across the ablation.
+		pooled := neural.MaxPool(t, hs)
+		return t.Tanh(t.Add(t.MatVec(m.att.Ww, pooled), m.att.Bw.AsVec()))
+	}
+	agg, _ := m.att.Apply(t, hs)
+	return agg
+}
+
+// TrainOptions configure Train.
+type TrainOptions struct {
+	Epochs int     // default 10
+	LR     float64 // default 0.01
+	Clip   float64 // gradient clip (default 5)
+	// L2 is the weight-decay coefficient (default 0, off). Weight
+	// decay keeps rare identity features (e.g. a part number seen in
+	// one document) from dominating generic multimodal features.
+	L2 float64
+	// LRDecay divides the learning rate by (1 + LRDecay*epoch),
+	// damping late-training oscillation (default 0.15).
+	LRDecay float64
+	// Quiet suppresses nothing today; reserved.
+	Quiet bool
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Epochs <= 0 {
+		o.Epochs = 10
+	}
+	if o.LR <= 0 {
+		o.LR = 0.01
+	}
+	if o.Clip <= 0 {
+		o.Clip = 5
+	}
+	if o.LRDecay == 0 {
+		o.LRDecay = 0.15
+	}
+}
+
+// TrainStats reports training cost, for the Table 6 runtime comparison.
+type TrainStats struct {
+	Epochs        int
+	FinalLoss     float64
+	SecsPerEpoch  float64
+	TotalDuration time.Duration
+}
+
+// Train fits the model with Adam on the noise-aware cross-entropy
+// against the examples' marginals.
+func (m *Model) Train(examples []Example, opts TrainOptions) TrainStats {
+	opts.defaults()
+	optim := neural.NewAdam(opts.LR)
+	optim.WeightDecay = opts.L2
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	start := time.Now()
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		optim.LR = opts.LR / (1 + opts.LRDecay*float64(epoch))
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			ex := examples[idx]
+			m.params.ZeroGrad()
+			t := neural.NewTape()
+			logits := m.forward(t, ex)
+			loss, node := neural.NoiseAwareCE(t, logits, ex.Marginal)
+			t.Backward(node)
+			m.params.ClipGrad(opts.Clip)
+			optim.Step(m.params)
+			total += loss
+		}
+		if len(examples) > 0 {
+			lastLoss = total / float64(len(examples))
+		}
+	}
+	dur := time.Since(start)
+	st := TrainStats{Epochs: opts.Epochs, FinalLoss: lastLoss, TotalDuration: dur}
+	if opts.Epochs > 0 {
+		st.SecsPerEpoch = dur.Seconds() / float64(opts.Epochs)
+	}
+	return st
+}
+
+// PredictProb returns the marginal probability that the candidate is a
+// true relation mention.
+func (m *Model) PredictProb(ex Example) float64 {
+	t := neural.NewTape()
+	logits := m.forward(t, ex)
+	return neural.SoftmaxProbs(logits.V)[1]
+}
+
+// Classify applies the user-specified threshold over the output
+// marginals (Section 3.2, Classification).
+func (m *Model) Classify(ex Example, threshold float64) bool {
+	return m.PredictProb(ex) > threshold
+}
+
+// ParamCount returns the number of trainable scalars.
+func (m *Model) ParamCount() int { return m.params.Count() }

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+)
+
+// makeExample fabricates a single-mention candidate whose sentence
+// contains the cue word and whose sparse features are given.
+func makeExample(id int, cue string, feats []int, marginal float64) Example {
+	b := datamodel.NewBuilder(fmt.Sprintf("doc%d", id), "html")
+	tx := b.AddText()
+	p := b.AddParagraph(tx)
+	s := b.AddSentence(p, []string{"the", "part", "X" + fmt.Sprint(id%7), "is", cue, "today"})
+	b.Finish()
+	c := &candidates.Candidate{
+		ID:       id,
+		Mentions: []candidates.Mention{{TypeName: "X", Span: datamodel.NewSpan(s, 2, 3)}},
+	}
+	return Example{Cand: c, SparseFeats: feats, Marginal: marginal}
+}
+
+// textualDataset labels by cue word only.
+func textualDataset(n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = makeExample(i, "excellent", nil, 1)
+		} else {
+			out[i] = makeExample(i, "terrible", nil, 0)
+		}
+	}
+	return out
+}
+
+// sparseDataset labels by feature identity only (cue word neutral).
+func sparseDataset(n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = makeExample(i, "neutral", []int{3, 5}, 1)
+		} else {
+			out[i] = makeExample(i, "neutral", []int{7, 5}, 0)
+		}
+	}
+	return out
+}
+
+func accuracy(m *Model, exs []Example) float64 {
+	correct := 0
+	for _, ex := range exs {
+		if m.Classify(ex, 0.5) == (ex.Marginal > 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(exs))
+}
+
+func TestTextModelLearnsTextualCue(t *testing.T) {
+	exs := textualDataset(24)
+	m := NewTextBiLSTM(1, 42, exs)
+	st := m.Train(exs, TrainOptions{Epochs: 12, LR: 0.02})
+	if st.FinalLoss > 0.3 {
+		t.Fatalf("final loss = %v", st.FinalLoss)
+	}
+	if acc := accuracy(m, exs); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if st.SecsPerEpoch <= 0 || st.Epochs != 12 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSparseModelLearnsFeatureCue(t *testing.T) {
+	exs := sparseDataset(24)
+	m := NewHumanTuned(10, 42)
+	m.Train(exs, TrainOptions{Epochs: 20, LR: 0.1})
+	if acc := accuracy(m, exs); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// Text-only model cannot separate this dataset (all cues neutral):
+	// accuracy stays near chance.
+	tm := NewTextBiLSTM(1, 42, exs)
+	tm.Train(exs, TrainOptions{Epochs: 5, LR: 0.02})
+	if acc := accuracy(tm, exs); acc > 0.8 {
+		t.Fatalf("text-only model should not learn sparse-only dataset, acc = %v", acc)
+	}
+}
+
+func TestFonduerCombinesModalities(t *testing.T) {
+	// Half the signal is textual, half is sparse: only the combined
+	// model can get both subsets right.
+	var exs []Example
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			exs = append(exs, makeExample(i, "excellent", []int{1}, 1))
+		} else {
+			exs = append(exs, makeExample(i, "terrible", []int{1}, 0))
+		}
+	}
+	for i := 12; i < 24; i++ {
+		if i%2 == 0 {
+			exs = append(exs, makeExample(i, "neutral", []int{3}, 1))
+		} else {
+			exs = append(exs, makeExample(i, "neutral", []int{7}, 0))
+		}
+	}
+	m := NewFonduer(1, 10, 42, exs)
+	m.Train(exs, TrainOptions{Epochs: 25, LR: 0.03})
+	if acc := accuracy(m, exs); acc < 0.9 {
+		t.Fatalf("multimodal accuracy = %v", acc)
+	}
+}
+
+func TestNoiseAwareTargets(t *testing.T) {
+	// Soft labels around 0.5 should produce predictions near 0.5, not
+	// saturate.
+	var exs []Example
+	for i := 0; i < 10; i++ {
+		exs = append(exs, makeExample(i, "neutral", []int{2}, 0.55))
+	}
+	m := NewHumanTuned(5, 1)
+	m.Train(exs, TrainOptions{Epochs: 30, LR: 0.05})
+	p := m.PredictProb(exs[0])
+	if math.Abs(p-0.55) > 0.1 {
+		t.Fatalf("soft-label prediction = %v, want ~0.55", p)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	exs := textualDataset(12)
+	m1 := NewTextBiLSTM(1, 7, exs)
+	m1.Train(exs, TrainOptions{Epochs: 3})
+	m2 := NewTextBiLSTM(1, 7, exs)
+	m2.Train(exs, TrainOptions{Epochs: 3})
+	for _, ex := range exs {
+		a, b := m1.PredictProb(ex), m2.PredictProb(ex)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDocRNNRunsAndIsSlower(t *testing.T) {
+	exs := textualDataset(8)
+	doc := NewDocRNN(42, exs, 100)
+	stDoc := doc.Train(exs, TrainOptions{Epochs: 2})
+	if stDoc.SecsPerEpoch <= 0 {
+		t.Fatal("doc RNN stats")
+	}
+	for _, ex := range exs {
+		p := doc.PredictProb(ex)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob = %v", p)
+		}
+	}
+}
+
+func TestMaxPoolVariant(t *testing.T) {
+	exs := textualDataset(16)
+	m := NewMaxPoolText(1, 42, exs)
+	m.Train(exs, TrainOptions{Epochs: 12, LR: 0.02})
+	if acc := accuracy(m, exs); acc < 0.8 {
+		t.Fatalf("maxpool accuracy = %v", acc)
+	}
+}
+
+func TestSRVVariant(t *testing.T) {
+	exs := sparseDataset(16)
+	m := NewSRV(10, 3)
+	m.Train(exs, TrainOptions{Epochs: 15, LR: 0.1})
+	if acc := accuracy(m, exs); acc < 0.9 {
+		t.Fatalf("srv accuracy = %v", acc)
+	}
+}
+
+func TestFrozenVocabHandlesUnseenWords(t *testing.T) {
+	exs := textualDataset(8)
+	m := NewTextBiLSTM(1, 42, exs)
+	m.Train(exs, TrainOptions{Epochs: 2})
+	unseen := makeExample(99, "zzznever", nil, 1)
+	p := m.PredictProb(unseen)
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		t.Fatalf("unseen-word prob = %v", p)
+	}
+}
+
+func TestOutOfRangeSparseFeaturesIgnored(t *testing.T) {
+	ex := makeExample(0, "x", []int{-1, 999999}, 1)
+	m := NewHumanTuned(5, 1)
+	p := m.PredictProb(ex)
+	if math.IsNaN(p) {
+		t.Fatal("NaN")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	exs := textualDataset(4)
+	m := NewFonduer(1, 100, 1, exs)
+	if m.ParamCount() <= 0 {
+		t.Fatal("param count")
+	}
+	sparseOnly := NewHumanTuned(100, 1)
+	if sparseOnly.ParamCount() != 2*100+2 {
+		t.Fatalf("sparse-only params = %d", sparseOnly.ParamCount())
+	}
+}

@@ -1,0 +1,75 @@
+package model
+
+// Variant constructors for the comparison models of Section 5.3.3.
+// Each returns a Model configured for one row of Tables 4-6; the
+// feature-restriction baselines (SRV) additionally rely on the caller
+// featurizing with the appropriate modalities disabled.
+
+// NewFonduer builds the full multimodal model: Bi-LSTM with attention
+// per mention plus the extended feature library in the last layer.
+func NewFonduer(numMentions, numFeatures int, seed int64, sample []Example) *Model {
+	return New(Config{
+		UseText:     true,
+		UseSparse:   true,
+		NumMentions: numMentions,
+		NumFeatures: numFeatures,
+		Seed:        seed,
+	}, sample)
+}
+
+// NewTextBiLSTM builds the "Bi-LSTM w/ Attn." baseline of Table 4:
+// textual context only, no extended features.
+func NewTextBiLSTM(numMentions int, seed int64, sample []Example) *Model {
+	return New(Config{
+		UseText:     true,
+		NumMentions: numMentions,
+		Seed:        seed,
+	}, sample)
+}
+
+// NewHumanTuned builds the human-tuned feature-engineering baseline of
+// Table 4: a linear model over the multimodal feature library alone.
+// (The feature library plays the role of hand-tuned features; the
+// paper's point is that the learned representation matches it.)
+func NewHumanTuned(numFeatures int, seed int64) *Model {
+	return New(Config{
+		UseSparse:   true,
+		NumFeatures: numFeatures,
+		Seed:        seed,
+	}, nil)
+}
+
+// NewSRV builds the SRV-style baseline of Table 5: a linear learner
+// over HTML-derived (structural + textual) features only. The caller
+// must featurize candidates with tabular and visual modalities
+// disabled; the model itself is the same sparse linear learner.
+func NewSRV(numFeatures int, seed int64) *Model {
+	return New(Config{
+		UseSparse:   true,
+		NumFeatures: numFeatures,
+		Seed:        seed,
+	}, nil)
+}
+
+// NewDocRNN builds the document-level RNN baseline of Table 6: one
+// Bi-LSTM with attention over the entire document token sequence.
+// Training is orders of magnitude slower than Fonduer's approach and
+// yields poorer quality (the paper's Table 6).
+func NewDocRNN(seed int64, sample []Example, maxDocTokens int) *Model {
+	return New(Config{
+		DocLevel:     true,
+		MaxDocTokens: maxDocTokens,
+		Seed:         seed,
+	}, sample)
+}
+
+// NewMaxPoolText builds the max-pooling ablation variant (Section 2.2
+// motivates attention over pooling).
+func NewMaxPoolText(numMentions int, seed int64, sample []Example) *Model {
+	return New(Config{
+		UseText:     true,
+		UseMaxPool:  true,
+		NumMentions: numMentions,
+		Seed:        seed,
+	}, sample)
+}

@@ -1,0 +1,334 @@
+// Package neural is the from-scratch deep-learning substrate Fonduer's
+// discriminative model runs on: a small reverse-mode automatic
+// differentiation engine over vectors, parameter containers with Adam
+// and SGD optimizers, and the layers the paper's model needs — word
+// embeddings, LSTM cells (Section 2.2), bidirectional composition, the
+// word-attention mechanism, and linear/softmax heads with a noise-aware
+// cross-entropy loss that accepts the probabilistic labels produced by
+// the generative label model.
+//
+// Everything is float64 and single-threaded; the corpora in this
+// reproduction are sized so training runs in seconds, and gradient
+// correctness is enforced by numeric gradient checks in the tests.
+package neural
+
+import "math"
+
+// Tape records operations for reverse-mode differentiation. Each
+// forward op appends a backward closure; Backward runs them in reverse
+// order. A Tape is built per training example (define-by-run).
+type Tape struct {
+	backward []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Vec is a node in the computation graph: a value vector and its
+// gradient accumulator.
+type Vec struct {
+	V []float64
+	G []float64
+}
+
+// Len returns the vector's dimension.
+func (v *Vec) Len() int { return len(v.V) }
+
+// NewVec allocates a zero vector node of dimension n.
+func NewVec(n int) *Vec {
+	return &Vec{V: make([]float64, n), G: make([]float64, n)}
+}
+
+// FromSlice wraps values in a leaf node (gradient is tracked but the
+// values are external inputs).
+func FromSlice(vals []float64) *Vec {
+	v := NewVec(len(vals))
+	copy(v.V, vals)
+	return v
+}
+
+// Backward seeds the output node with gradient 1 (for every component)
+// and propagates through the tape in reverse.
+func (t *Tape) Backward(out *Vec) {
+	for i := range out.G {
+		out.G[i] = 1
+	}
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}
+
+// Add returns a + b (element-wise; dimensions must match).
+func (t *Tape) Add(a, b *Vec) *Vec {
+	mustSameLen(a, b)
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] + b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Vec) *Vec {
+	mustSameLen(a, b)
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] - b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] -= out.G[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the Hadamard (element-wise) product a ∘ b.
+func (t *Tape) Mul(a, b *Vec) *Vec {
+	mustSameLen(a, b)
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = a.V[i] * b.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * b.V[i]
+			b.G[i] += out.G[i] * a.V[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s * a for a constant scalar s.
+func (t *Tape) Scale(a *Vec, s float64) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = s * a.V[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += s * out.G[i]
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = math.Tanh(a.V[i])
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * (1 - out.V[i]*out.V[i])
+		}
+	})
+	return out
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.V {
+		out.V[i] = 1 / (1 + math.Exp(-a.V[i]))
+	}
+	t.backward = append(t.backward, func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * out.V[i] * (1 - out.V[i])
+		}
+	})
+	return out
+}
+
+// Concat concatenates vectors into one node.
+func (t *Tape) Concat(vs ...*Vec) *Vec {
+	n := 0
+	for _, v := range vs {
+		n += v.Len()
+	}
+	out := NewVec(n)
+	off := 0
+	for _, v := range vs {
+		copy(out.V[off:], v.V)
+		off += v.Len()
+	}
+	t.backward = append(t.backward, func() {
+		off := 0
+		for _, v := range vs {
+			for i := range v.G {
+				v.G[i] += out.G[off+i]
+			}
+			off += v.Len()
+		}
+	})
+	return out
+}
+
+// Dot returns the scalar product <a, b> as a 1-vector.
+func (t *Tape) Dot(a, b *Vec) *Vec {
+	mustSameLen(a, b)
+	out := NewVec(1)
+	s := 0.0
+	for i := range a.V {
+		s += a.V[i] * b.V[i]
+	}
+	out.V[0] = s
+	t.backward = append(t.backward, func() {
+		g := out.G[0]
+		for i := range a.V {
+			a.G[i] += g * b.V[i]
+			b.G[i] += g * a.V[i]
+		}
+	})
+	return out
+}
+
+// MatVec returns M·x where M is a parameter matrix (rows×cols) and x
+// has dimension cols.
+func (t *Tape) MatVec(m *Mat, x *Vec) *Vec {
+	if m.Cols != x.Len() {
+		panic("neural: MatVec dimension mismatch")
+	}
+	out := NewVec(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		row := m.W[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			s += w * x.V[c]
+		}
+		out.V[r] = s
+	}
+	t.backward = append(t.backward, func() {
+		for r := 0; r < m.Rows; r++ {
+			g := out.G[r]
+			if g == 0 {
+				continue
+			}
+			base := r * m.Cols
+			for c := 0; c < m.Cols; c++ {
+				m.G[base+c] += g * x.V[c]
+				x.G[c] += g * m.W[base+c]
+			}
+		}
+	})
+	return out
+}
+
+// Softmax returns the softmax of a (numerically stabilized).
+func (t *Tape) Softmax(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	max := a.V[0]
+	for _, v := range a.V[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range a.V {
+		out.V[i] = math.Exp(v - max)
+		sum += out.V[i]
+	}
+	for i := range out.V {
+		out.V[i] /= sum
+	}
+	t.backward = append(t.backward, func() {
+		// dL/da_i = y_i * (g_i - Σ_j g_j y_j)
+		dot := 0.0
+		for j := range out.V {
+			dot += out.G[j] * out.V[j]
+		}
+		for i := range a.G {
+			a.G[i] += out.V[i] * (out.G[i] - dot)
+		}
+	})
+	return out
+}
+
+// Sum returns the element-wise sum of several equal-length vectors.
+func (t *Tape) Sum(vs ...*Vec) *Vec {
+	if len(vs) == 0 {
+		panic("neural: Sum of nothing")
+	}
+	out := NewVec(vs[0].Len())
+	for _, v := range vs {
+		mustSameLen(vs[0], v)
+		for i := range out.V {
+			out.V[i] += v.V[i]
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for _, v := range vs {
+			for i := range v.G {
+				v.G[i] += out.G[i]
+			}
+		}
+	})
+	return out
+}
+
+// WeightedSum returns Σ_j w_j · vs_j where the weights come from a
+// vector node of dimension len(vs) — the attention aggregation.
+func (t *Tape) WeightedSum(w *Vec, vs []*Vec) *Vec {
+	if w.Len() != len(vs) {
+		panic("neural: WeightedSum weight/vector count mismatch")
+	}
+	out := NewVec(vs[0].Len())
+	for j, v := range vs {
+		mustSameLen(vs[0], v)
+		for i := range out.V {
+			out.V[i] += w.V[j] * v.V[i]
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for j, v := range vs {
+			for i := range out.G {
+				v.G[i] += out.G[i] * w.V[j]
+				w.G[j] += out.G[i] * v.V[i]
+			}
+		}
+	})
+	return out
+}
+
+// SparseLinear computes out[r] = Σ_{c ∈ cols} M[r,c] — a linear layer
+// applied to a sparse binary feature vector given by its active column
+// indices. This is how the extended feature library enters the last
+// layer of Fonduer's network (Section 4.2): the feature-library logits
+// are added to the textual logits before the softmax. Columns out of
+// range are ignored (frozen feature index returning unseen features).
+func (t *Tape) SparseLinear(m *Mat, cols []int) *Vec {
+	out := NewVec(m.Rows)
+	for _, c := range cols {
+		if c < 0 || c >= m.Cols {
+			continue
+		}
+		for r := 0; r < m.Rows; r++ {
+			out.V[r] += m.W[r*m.Cols+c]
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for _, c := range cols {
+			if c < 0 || c >= m.Cols {
+				continue
+			}
+			for r := 0; r < m.Rows; r++ {
+				m.G[r*m.Cols+c] += out.G[r]
+			}
+		}
+	})
+	return out
+}
+
+func mustSameLen(a, b *Vec) {
+	if a.Len() != b.Len() {
+		panic("neural: dimension mismatch")
+	}
+}

@@ -1,0 +1,273 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Embedding is a trainable word-embedding table. Rows are vocabulary
+// ids; lookups return Vec views sharing the table's storage so
+// gradients flow back into the embeddings (trained jointly with the
+// rest of the network, Section 4.2).
+type Embedding struct {
+	Table *Mat
+}
+
+// NewEmbedding allocates a vocab×dim table initialized from the given
+// initializer function (e.g. the deterministic hashed vectors of
+// package nlp) or Xavier noise when init is nil.
+func NewEmbedding(vocab, dim int, rng *rand.Rand, init func(id int) []float64) *Embedding {
+	t := NewMatXavier(vocab, dim, rng)
+	if init != nil {
+		for id := 0; id < vocab; id++ {
+			if v := init(id); len(v) == dim {
+				copy(t.W[id*dim:(id+1)*dim], v)
+			}
+		}
+	}
+	return &Embedding{Table: t}
+}
+
+// Lookup returns the embedding of a vocabulary id.
+func (e *Embedding) Lookup(id int) *Vec {
+	if id < 0 || id >= e.Table.Rows {
+		id = 0
+	}
+	return e.Table.Row(id)
+}
+
+// Params returns the trainable table.
+func (e *Embedding) Params() Params { return Params{e.Table} }
+
+// LSTM is one direction's long short-term memory cell with input,
+// forget and output gates (the equations of Section 2.2):
+//
+//	i_t = σ(W_i x_t + U_i h_{t-1} + b_i)
+//	f_t = σ(W_f x_t + U_f h_{t-1} + b_f)
+//	o_t = σ(W_o x_t + U_o h_{t-1} + b_o)
+//	c_t = f_t ∘ c_{t-1} + i_t ∘ tanh(W_c x_t + U_c h_{t-1} + b_c)
+//	h_t = o_t ∘ tanh(c_t)
+type LSTM struct {
+	InDim, HidDim  int
+	Wi, Ui, Wf, Uf *Mat
+	Wo, Uo, Wc, Uc *Mat
+	Bi, Bf, Bo, Bc *Mat
+}
+
+// NewLSTM allocates an LSTM with Xavier-initialized weights and a
+// forget-gate bias of +1 (the standard trick for gradient flow).
+func NewLSTM(inDim, hidDim int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		InDim: inDim, HidDim: hidDim,
+		Wi: NewMatXavier(hidDim, inDim, rng), Ui: NewMatXavier(hidDim, hidDim, rng),
+		Wf: NewMatXavier(hidDim, inDim, rng), Uf: NewMatXavier(hidDim, hidDim, rng),
+		Wo: NewMatXavier(hidDim, inDim, rng), Uo: NewMatXavier(hidDim, hidDim, rng),
+		Wc: NewMatXavier(hidDim, inDim, rng), Uc: NewMatXavier(hidDim, hidDim, rng),
+		Bi: NewMat(hidDim, 1), Bf: NewMat(hidDim, 1),
+		Bo: NewMat(hidDim, 1), Bc: NewMat(hidDim, 1),
+	}
+	for i := range l.Bf.W {
+		l.Bf.W[i] = 1
+	}
+	return l
+}
+
+// Step computes one timestep, returning the new hidden and cell states.
+func (l *LSTM) Step(t *Tape, x, hPrev, cPrev *Vec) (h, c *Vec) {
+	gate := func(W, U, B *Mat) *Vec {
+		return t.Sigmoid(t.Add(t.Add(t.MatVec(W, x), t.MatVec(U, hPrev)), B.AsVec()))
+	}
+	i := gate(l.Wi, l.Ui, l.Bi)
+	f := gate(l.Wf, l.Uf, l.Bf)
+	o := gate(l.Wo, l.Uo, l.Bo)
+	cand := t.Tanh(t.Add(t.Add(t.MatVec(l.Wc, x), t.MatVec(l.Uc, hPrev)), l.Bc.AsVec()))
+	c = t.Add(t.Mul(f, cPrev), t.Mul(i, cand))
+	h = t.Mul(o, t.Tanh(c))
+	return h, c
+}
+
+// Run processes a sequence left to right from zero initial state,
+// returning the hidden state at every timestep.
+func (l *LSTM) Run(t *Tape, xs []*Vec) []*Vec {
+	h, c := NewVec(l.HidDim), NewVec(l.HidDim)
+	out := make([]*Vec, len(xs))
+	for i, x := range xs {
+		h, c = l.Step(t, x, h, c)
+		out[i] = h
+	}
+	return out
+}
+
+// Params returns the LSTM's trainable matrices.
+func (l *LSTM) Params() Params {
+	return Params{l.Wi, l.Ui, l.Wf, l.Uf, l.Wo, l.Uo, l.Wc, l.Uc, l.Bi, l.Bf, l.Bo, l.Bc}
+}
+
+// BiLSTM pairs a forward and a backward LSTM; the representation of
+// each timestep is the concatenation [h^F_i, h^B_i] (Section 2.2).
+type BiLSTM struct {
+	Fwd, Bwd *LSTM
+}
+
+// NewBiLSTM allocates both directions.
+func NewBiLSTM(inDim, hidDim int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{Fwd: NewLSTM(inDim, hidDim, rng), Bwd: NewLSTM(inDim, hidDim, rng)}
+}
+
+// Run returns the concatenated forward/backward hidden states per
+// timestep (dimension 2*HidDim).
+func (b *BiLSTM) Run(t *Tape, xs []*Vec) []*Vec {
+	fwd := b.Fwd.Run(t, xs)
+	rev := make([]*Vec, len(xs))
+	for i := range xs {
+		rev[i] = xs[len(xs)-1-i]
+	}
+	bwdRev := b.Bwd.Run(t, rev)
+	out := make([]*Vec, len(xs))
+	for i := range xs {
+		out[i] = t.Concat(fwd[i], bwdRev[len(xs)-1-i])
+	}
+	return out
+}
+
+// OutDim returns the per-timestep output dimension.
+func (b *BiLSTM) OutDim() int { return b.Fwd.HidDim + b.Bwd.HidDim }
+
+// Params returns both directions' parameters.
+func (b *BiLSTM) Params() Params { return append(b.Fwd.Params(), b.Bwd.Params()...) }
+
+// Attention is the word-attention mechanism of Section 4.2:
+//
+//	u_ik = tanh(W_w h_ik + b_w)
+//	α_ik = softmax_k(u_ik · u_w)
+//	t_i  = Σ_k α_ik u_ik
+type Attention struct {
+	Ww *Mat
+	Bw *Mat
+	Uw *Mat
+}
+
+// NewAttention allocates attention parameters for hidden dimension
+// hidDim with internal dimension attDim.
+func NewAttention(hidDim, attDim int, rng *rand.Rand) *Attention {
+	return &Attention{
+		Ww: NewMatXavier(attDim, hidDim, rng),
+		Bw: NewMat(attDim, 1),
+		Uw: NewMatXavier(attDim, 1, rng),
+	}
+}
+
+// Apply aggregates a sequence of hidden states into one vector using
+// learned word importances. It also returns the attention weights for
+// inspection.
+func (a *Attention) Apply(t *Tape, hs []*Vec) (*Vec, *Vec) {
+	us := make([]*Vec, len(hs))
+	scores := make([]*Vec, len(hs))
+	for k, h := range hs {
+		us[k] = t.Tanh(t.Add(t.MatVec(a.Ww, h), a.Bw.AsVec()))
+		scores[k] = t.Dot(us[k], a.Uw.AsVec())
+	}
+	alpha := t.Softmax(t.Concat(scores...))
+	return t.WeightedSum(alpha, us), alpha
+}
+
+// OutDim returns the aggregated vector's dimension.
+func (a *Attention) OutDim() int { return a.Ww.Rows }
+
+// Params returns the attention parameters.
+func (a *Attention) Params() Params { return Params{a.Ww, a.Bw, a.Uw} }
+
+// Linear is a fully connected layer y = Wx + b.
+type Linear struct {
+	W *Mat
+	B *Mat
+}
+
+// NewLinear allocates a Xavier-initialized linear layer.
+func NewLinear(inDim, outDim int, rng *rand.Rand) *Linear {
+	return &Linear{W: NewMatXavier(outDim, inDim, rng), B: NewMat(outDim, 1)}
+}
+
+// Apply computes Wx + b.
+func (l *Linear) Apply(t *Tape, x *Vec) *Vec {
+	return t.Add(t.MatVec(l.W, x), l.B.AsVec())
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() Params { return Params{l.W, l.B} }
+
+// MaxPool returns the element-wise maximum over the sequence — the
+// pooling strategy attention improves on (Section 2.2); kept as an
+// ablation alternative.
+func MaxPool(t *Tape, hs []*Vec) *Vec {
+	if len(hs) == 0 {
+		panic("neural: MaxPool of empty sequence")
+	}
+	n := hs[0].Len()
+	out := NewVec(n)
+	argmax := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := hs[0].V[i]
+		bestK := 0
+		for k := 1; k < len(hs); k++ {
+			if hs[k].V[i] > best {
+				best = hs[k].V[i]
+				bestK = k
+			}
+		}
+		out.V[i] = best
+		argmax[i] = bestK
+	}
+	t.backward = append(t.backward, func() {
+		for i := 0; i < n; i++ {
+			hs[argmax[i]].G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// NoiseAwareCE computes the noise-aware binary cross-entropy between a
+// 2-class logit vector and a probabilistic target p = P(y=+1):
+//
+//	L = -(p·log q_1 + (1-p)·log q_0),  q = softmax(logits)
+//
+// It returns the loss value and a 1-vector node whose backward pass
+// propagates dL into the logits. Class order: index 0 = "False",
+// index 1 = "True".
+func NoiseAwareCE(t *Tape, logits *Vec, p float64) (float64, *Vec) {
+	if logits.Len() != 2 {
+		panic("neural: NoiseAwareCE expects 2 logits")
+	}
+	q := t.Softmax(logits)
+	const eps = 1e-12
+	loss := -(p*math.Log(q.V[1]+eps) + (1-p)*math.Log(q.V[0]+eps))
+	out := NewVec(1)
+	out.V[0] = loss
+	t.backward = append(t.backward, func() {
+		g := out.G[0]
+		q.G[1] += g * (-p / (q.V[1] + eps))
+		q.G[0] += g * (-(1 - p) / (q.V[0] + eps))
+	})
+	return loss, out
+}
+
+// SoftmaxProbs evaluates softmax probabilities without recording to a
+// tape (inference path).
+func SoftmaxProbs(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

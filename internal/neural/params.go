@@ -1,0 +1,160 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Mat is a trainable parameter matrix (or vector when Cols==1 is not
+// required; biases use Rows=n, Cols=1 semantics via Param helpers).
+// W holds row-major weights; G accumulates gradients.
+type Mat struct {
+	Rows, Cols int
+	W, G       []float64
+}
+
+// NewMat allocates a zeroed rows×cols parameter matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, W: make([]float64, rows*cols), G: make([]float64, rows*cols)}
+}
+
+// NewMatXavier allocates a matrix initialized with Xavier/Glorot
+// uniform weights drawn from the provided RNG (deterministic given the
+// seed).
+func NewMatXavier(rows, cols int, rng *rand.Rand) *Mat {
+	m := NewMat(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.W {
+		m.W[i] = (2*rng.Float64() - 1) * limit
+	}
+	return m
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (m *Mat) ZeroGrad() {
+	for i := range m.G {
+		m.G[i] = 0
+	}
+}
+
+// AsVec returns a Vec view sharing the matrix's storage, letting bias
+// parameters participate in the graph directly.
+func (m *Mat) AsVec() *Vec { return &Vec{V: m.W, G: m.G} }
+
+// Row returns a Vec view of one row (used by embedding lookups); the
+// view shares storage, so gradients flow into the table.
+func (m *Mat) Row(r int) *Vec {
+	if r < 0 || r >= m.Rows {
+		panic("neural: row out of range")
+	}
+	return &Vec{V: m.W[r*m.Cols : (r+1)*m.Cols], G: m.G[r*m.Cols : (r+1)*m.Cols]}
+}
+
+// Params is the set of trainable matrices of a model.
+type Params []*Mat
+
+// ZeroGrad clears all gradients.
+func (ps Params) ZeroGrad() {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// Count returns the total number of scalar parameters.
+func (ps Params) Count() int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.W)
+	}
+	return n
+}
+
+// ClipGrad scales gradients so their global L2 norm is at most c.
+func (ps Params) ClipGrad(c float64) {
+	if c <= 0 {
+		return
+	}
+	sum := 0.0
+	for _, p := range ps {
+		for _, g := range p.G {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm <= c {
+		return
+	}
+	scale := c / norm
+	for _, p := range ps {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+}
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers
+	// ZeroGrad between steps).
+	Step(Params)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step implements Optimizer.
+func (o SGD) Step(ps Params) {
+	for _, p := range ps {
+		for i := range p.W {
+			g := p.G[i] + o.WeightDecay*p.W[i]
+			p.W[i] -= o.LR * g
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Mat][]float64
+	v map[*Mat][]float64
+}
+
+// NewAdam returns Adam with the conventional defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Mat][]float64{}, v: map[*Mat][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(ps Params) {
+	o.t++
+	b1t := 1 - math.Pow(o.Beta1, float64(o.t))
+	b2t := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range ps {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			o.v[p] = v
+		}
+		for i := range p.W {
+			g := p.G[i] + o.WeightDecay*p.W[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / b1t
+			vh := v[i] / b2t
+			p.W[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lemmatize maps a token to its lemma using a small irregular-form
+// lexicon plus English suffix-stripping rules. The result is always
+// lowercase.
+func Lemmatize(token string) string {
+	w := strings.ToLower(token)
+	if lemma, ok := irregularLemmas[w]; ok {
+		return lemma
+	}
+	if len(w) <= 3 || !isAlphaWord(w) {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "xes"), strings.HasSuffix(w, "ches"), strings.HasSuffix(w, "shes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"), strings.HasSuffix(w, "us"), strings.HasSuffix(w, "is"):
+		return w
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		stem := w[:len(w)-3]
+		return undouble(stem)
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		stem := w[:len(w)-2]
+		return undouble(stem)
+	case strings.HasSuffix(w, "s"):
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+// undouble collapses a doubled final consonant left by -ing/-ed
+// stripping ("stopp" -> "stop"), preserving legitimate doubles like
+// "fall" (ll after a, which we treat as legitimate only for l/s/z...).
+// The heuristic is intentionally simple: collapse b,d,g,m,n,p,r,t.
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] {
+		switch stem[n-1] {
+		case 'b', 'd', 'g', 'm', 'n', 'p', 'r', 't':
+			return stem[:n-1]
+		}
+	}
+	return stem
+}
+
+func isAlphaWord(w string) bool {
+	for _, r := range w {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return true
+}
+
+var irregularLemmas = map[string]string{
+	"is": "be", "are": "be", "was": "be", "were": "be", "been": "be", "am": "be",
+	"has": "have", "had": "have", "having": "have",
+	"does": "do", "did": "do", "done": "do",
+	"found": "find", "shown": "show", "showed": "show",
+	"given": "give", "gave": "give",
+	"men": "man", "women": "woman", "children": "child",
+	"measurements": "measurement", "species": "species",
+	"mice": "mouse", "feet": "foot", "teeth": "tooth",
+	"better": "good", "best": "good", "worse": "bad", "worst": "bad",
+}
+
+// POS tags emitted by Tag. The tagset is a compact Penn-style subset:
+// NN (noun), NNP (proper noun), VB (verb), JJ (adjective), RB (adverb),
+// CD (number), IN (preposition), DT (determiner), CC (conjunction),
+// PRP (pronoun), SYM (symbol/punct), UH (other).
+const (
+	TagNoun        = "NN"
+	TagProperNoun  = "NNP"
+	TagVerb        = "VB"
+	TagAdjective   = "JJ"
+	TagAdverb      = "RB"
+	TagNumber      = "CD"
+	TagPreposition = "IN"
+	TagDeterminer  = "DT"
+	TagConjunction = "CC"
+	TagPronoun     = "PRP"
+	TagSymbol      = "SYM"
+	TagOther       = "UH"
+)
+
+var closedClass = map[string]string{
+	"the": TagDeterminer, "a": TagDeterminer, "an": TagDeterminer,
+	"this": TagDeterminer, "that": TagDeterminer, "these": TagDeterminer,
+	"of": TagPreposition, "in": TagPreposition, "on": TagPreposition,
+	"at": TagPreposition, "to": TagPreposition, "from": TagPreposition,
+	"with": TagPreposition, "by": TagPreposition, "for": TagPreposition,
+	"between": TagPreposition, "per": TagPreposition, "via": TagPreposition,
+	"and": TagConjunction, "or": TagConjunction, "but": TagConjunction,
+	"it": TagPronoun, "its": TagPronoun, "they": TagPronoun,
+	"we": TagPronoun, "their": TagPronoun,
+	"is": TagVerb, "are": TagVerb, "was": TagVerb, "were": TagVerb,
+	"be": TagVerb, "has": TagVerb, "have": TagVerb, "had": TagVerb,
+	"not": TagAdverb, "very": TagAdverb, "approximately": TagAdverb,
+}
+
+// Tag assigns a part-of-speech tag to each token using the closed-class
+// lexicon and simple morphological cues. Position 0 capitalization is
+// not treated as a proper-noun cue (sentence-initial words).
+func Tag(tokens []string) []string {
+	tags := make([]string, len(tokens))
+	for i, tok := range tokens {
+		tags[i] = tagOne(tok, i)
+	}
+	return tags
+}
+
+func tagOne(tok string, pos int) string {
+	if tok == "" {
+		return TagOther
+	}
+	lower := strings.ToLower(tok)
+	if t, ok := closedClass[lower]; ok {
+		return t
+	}
+	if IsNumeric(tok) {
+		return TagNumber
+	}
+	r := []rune(tok)
+	if !unicode.IsLetter(r[0]) && !unicode.IsDigit(r[0]) {
+		return TagSymbol
+	}
+	hasDigit := strings.IndexFunc(tok, unicode.IsDigit) >= 0
+	allUpper := tok == strings.ToUpper(tok) && strings.IndexFunc(tok, unicode.IsLetter) >= 0
+	switch {
+	case hasDigit || allUpper:
+		// Part codes, symbols like VCEO, rs-ids.
+		return TagProperNoun
+	case pos > 0 && unicode.IsUpper(r[0]):
+		return TagProperNoun
+	case strings.HasSuffix(lower, "ly"):
+		return TagAdverb
+	case strings.HasSuffix(lower, "ing"), strings.HasSuffix(lower, "ed"),
+		strings.HasSuffix(lower, "ize"), strings.HasSuffix(lower, "ate"):
+		return TagVerb
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "al"),
+		strings.HasSuffix(lower, "ic"), strings.HasSuffix(lower, "able"):
+		return TagAdjective
+	default:
+		return TagNoun
+	}
+}
+
+// IsNumeric reports whether the token is a number, optionally signed,
+// with optional decimal part and thousands separators.
+func IsNumeric(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	i := 0
+	if tok[0] == '-' || tok[0] == '+' {
+		i = 1
+	}
+	digits := 0
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' || c == ',':
+			// allowed separators
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// NER tags for the lightweight entity tagger.
+const (
+	EntNone     = "O"
+	EntNumber   = "NUMBER"
+	EntUnit     = "UNIT"
+	EntCode     = "CODE"
+	EntLocation = "LOC"
+	EntPerson   = "PER"
+)
+
+var unitWords = map[string]bool{
+	"v": true, "mv": true, "kv": true, "a": true, "ma": true, "ua": true,
+	"mw": true, "w": true, "kw": true, "°c": true, "c": true, "k": true,
+	"hz": true, "khz": true, "mhz": true, "ohm": true, "kohm": true,
+	"mm": true, "cm": true, "m": true, "kg": true, "g": true, "mg": true,
+	"usd": true, "$": true, "hr": true, "hour": true, "ns": true, "pf": true,
+}
+
+// TagEntities assigns a coarse entity tag to each token: NUMBER for
+// numerics, UNIT for measurement units, CODE for alphanumeric
+// identifiers (part numbers, rs-ids), O otherwise.
+func TagEntities(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, tok := range tokens {
+		lower := strings.ToLower(tok)
+		switch {
+		case IsNumeric(tok):
+			out[i] = EntNumber
+		case unitWords[lower]:
+			out[i] = EntUnit
+		case isCode(tok):
+			out[i] = EntCode
+		default:
+			out[i] = EntNone
+		}
+	}
+	return out
+}
+
+// isCode detects alphanumeric identifiers: tokens mixing letters and
+// digits with length >= 3 (SMBT3904, rs7329174, 2N2222).
+func isCode(tok string) bool {
+	if len(tok) < 3 {
+		return false
+	}
+	letters, digits := 0, 0
+	for _, r := range tok {
+		switch {
+		case unicode.IsLetter(r):
+			letters++
+		case unicode.IsDigit(r):
+			digits++
+		case r == '-' || r == '_':
+			// allowed inside codes
+		default:
+			return false
+		}
+	}
+	return letters > 0 && digits > 0
+}

@@ -1,0 +1,92 @@
+// Package oracle implements the comparison methods of Section 5.1:
+// upper bounds of state-of-the-art IE techniques, computed by
+// measuring the recall achieved in each technique's candidate
+// generation stage while assuming a perfect filtering stage
+// (precision fixed at 1.0).
+//
+//   - Text: candidates drawn from individual sentences (sentence-scope
+//     extraction), as in text-only relation extraction systems.
+//   - Table: candidates drawn from individual tables, as in
+//     semi-structured/table IE systems.
+//   - Ensemble: the union of Text and Table candidates (the Knowledge
+//     Vault-style ensemble the paper cites).
+package oracle
+
+import (
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/datamodel"
+)
+
+// Method identifies one oracle comparison method.
+type Method int
+
+// The oracle methods of Table 2.
+const (
+	Text Method = iota
+	Table
+	Ensemble
+)
+
+// String names the method as in Table 2.
+func (m Method) String() string {
+	switch m {
+	case Text:
+		return "Text"
+	case Table:
+		return "Table"
+	case Ensemble:
+		return "Ensemble"
+	default:
+		return "oracle(?)"
+	}
+}
+
+// coveredTuples returns the gold tuples reachable by candidates
+// generated under the given scope (no throttling — the upper bound).
+func coveredTuples(task core.Task, docs []*datamodel.Document, scope candidates.Scope) map[string]bool {
+	e := &candidates.Extractor{Args: task.Args, Scope: scope}
+	out := map[string]bool{}
+	for _, cand := range e.ExtractAll(docs) {
+		if task.Gold(cand) {
+			out[core.TupleFromCandidate(cand).Key()] = true
+		}
+	}
+	return out
+}
+
+// Evaluate computes the oracle's upper-bound quality: recall is the
+// fraction of gold tuples its candidate generation can reach, and
+// precision is fixed at 1.0 (unless recall is zero, in which case all
+// three metrics are zero, as in the paper's PALEO/GEN Text rows).
+func Evaluate(m Method, task core.Task, docs []*datamodel.Document, gold []core.GoldTuple) core.PRF {
+	gold = core.FilterGold(gold, core.DocNames(docs))
+	if len(gold) == 0 {
+		return core.PRF{}
+	}
+	var covered map[string]bool
+	switch m {
+	case Text:
+		covered = coveredTuples(task, docs, candidates.SentenceScope)
+	case Table:
+		covered = coveredTuples(task, docs, candidates.TableScope)
+	case Ensemble:
+		covered = coveredTuples(task, docs, candidates.SentenceScope)
+		for k := range coveredTuples(task, docs, candidates.TableScope) {
+			covered[k] = true
+		}
+	}
+	hit := 0
+	for _, gt := range gold {
+		if covered[gt.Key()] {
+			hit++
+		}
+	}
+	if hit == 0 {
+		// No candidates at all: precision is undefined; the paper
+		// reports 0.00 (its Text/Table rows for PALEO and GEN).
+		return core.PRF{}
+	}
+	r := float64(hit) / float64(len(gold))
+	return core.NewPRF(1.0, r)
+}

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestMethodString(t *testing.T) {
+	if Text.String() != "Text" || Table.String() != "Table" || Ensemble.String() != "Ensemble" {
+		t.Fatal("names")
+	}
+	if Method(9).String() != "oracle(?)" {
+		t.Fatal("unknown")
+	}
+}
+
+// TestOracleShapesElectronics reproduces the Table 2 premise for
+// ELECTRONICS: Text recall is tiny, Table recall small, Ensemble
+// approximately their union, all with precision 1.0.
+func TestOracleShapesElectronics(t *testing.T) {
+	c := synth.Electronics(21, 60)
+	task := c.Tasks[0]
+	gold := c.GoldTuples[task.Relation]
+
+	text := Evaluate(Text, task, c.Docs, gold)
+	table := Evaluate(Table, task, c.Docs, gold)
+	ens := Evaluate(Ensemble, task, c.Docs, gold)
+
+	if text.Recall > 0.15 {
+		t.Fatalf("Text recall = %v, want tiny", text.Recall)
+	}
+	if table.Recall <= text.Recall {
+		t.Fatalf("Table (%v) should beat Text (%v) in electronics", table.Recall, text.Recall)
+	}
+	if table.Recall > 0.5 {
+		t.Fatalf("Table recall = %v, want small", table.Recall)
+	}
+	if ens.Recall < table.Recall || ens.Recall < text.Recall {
+		t.Fatalf("Ensemble (%v) must dominate components", ens.Recall)
+	}
+	for _, m := range []struct {
+		name string
+		q    interface{ F1() }
+	}{} {
+		_ = m
+	}
+	if text.Recall > 0 && text.Precision != 1 {
+		t.Fatalf("oracle precision must be 1.0, got %v", text.Precision)
+	}
+}
+
+// TestOracleZeroGenomics reproduces the GEN row of Table 2: no full
+// tuples can be created using Text or Table alone.
+func TestOracleZeroGenomics(t *testing.T) {
+	c := synth.Genomics(22, 15)
+	task := c.Tasks[0]
+	gold := c.GoldTuples[task.Relation]
+	for _, m := range []Method{Text, Table, Ensemble} {
+		q := Evaluate(m, task, c.Docs, gold)
+		if q.Precision != 0 || q.Recall != 0 || q.F1 != 0 {
+			t.Fatalf("%v should be all-zero in genomics: %+v", m, q)
+		}
+	}
+}
+
+// TestOracleAdsTextBeatsTable reproduces the ADS row's inversion:
+// text reaches more than tables.
+func TestOracleAdsTextBeatsTable(t *testing.T) {
+	c := synth.Ads(23, 80)
+	task := c.Tasks[0]
+	gold := c.GoldTuples[task.Relation]
+	text := Evaluate(Text, task, c.Docs, gold)
+	table := Evaluate(Table, task, c.Docs, gold)
+	if text.Recall <= table.Recall {
+		t.Fatalf("ads Text (%v) should beat Table (%v)", text.Recall, table.Recall)
+	}
+	ens := Evaluate(Ensemble, task, c.Docs, gold)
+	if ens.Recall <= text.Recall {
+		t.Fatalf("ensemble (%v) should beat text (%v)", ens.Recall, text.Recall)
+	}
+}
+
+func TestOracleEmptyGold(t *testing.T) {
+	c := synth.Electronics(24, 2)
+	task := c.Tasks[0]
+	q := Evaluate(Text, task, c.Docs, nil)
+	if q != (Evaluate(Text, task, nil, nil)) {
+		t.Fatal("empty gold should be zero")
+	}
+}

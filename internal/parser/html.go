@@ -1,0 +1,428 @@
+// Package parser converts input documents — HTML, XML, and rendered
+// visual layouts — into instances of Fonduer's multimodal data model.
+//
+// The paper's pipeline uses Poppler to obtain HTML structure from PDFs
+// and a PDF printer to obtain visual coordinates, then aligns the two
+// word sequences. This package plays the same role: ParseHTML builds
+// the structural/tabular view, ParseVDoc reads a rendered visual layout
+// (the "vdoc" format emitted by the synthetic corpus generators in
+// place of a PDF renderer), and AlignVisual merges the two views by
+// word-sequence alignment, recovering from conversion errors the same
+// way the paper describes (matching characters and repeat counts, with
+// interpolation for unmatched words).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/datamodel"
+	"repro/internal/nlp"
+)
+
+// htmlNode is a minimal DOM node: either an element with children or a
+// text node.
+type htmlNode struct {
+	tag      string // "" for text nodes
+	attrs    map[string]string
+	text     string // text nodes only
+	children []*htmlNode
+	parent   *htmlNode
+}
+
+// voidTags never have closing tags or children.
+var voidTags = map[string]bool{
+	"br": true, "hr": true, "img": true, "meta": true, "link": true,
+	"input": true, "area": true, "base": true, "col": true,
+}
+
+// tokenizeHTML performs a forgiving scan of HTML source into a DOM
+// tree. It tolerates unquoted attributes, unclosed void tags, and
+// mismatched closing tags (closing tags pop to the nearest matching
+// open element).
+func tokenizeHTML(src string) *htmlNode {
+	root := &htmlNode{tag: "#root", attrs: map[string]string{}}
+	cur := root
+	i := 0
+	for i < len(src) {
+		if src[i] == '<' {
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				// Trailing junk; treat as text.
+				appendText(cur, src[i:])
+				break
+			}
+			tagSrc := src[i+1 : i+j]
+			i += j + 1
+			switch {
+			case strings.HasPrefix(tagSrc, "!--"):
+				// Comment: skip to -->
+				if end := strings.Index(tagSrc, "--"); end >= 0 && strings.HasSuffix(tagSrc, "--") {
+					continue
+				}
+				if end := strings.Index(src[i:], "-->"); end >= 0 {
+					i += end + 3
+				}
+			case strings.HasPrefix(tagSrc, "!"), strings.HasPrefix(tagSrc, "?"):
+				// DOCTYPE or processing instruction: ignore.
+			case strings.HasPrefix(tagSrc, "/"):
+				name := strings.ToLower(strings.TrimSpace(tagSrc[1:]))
+				for n := cur; n != nil && n != root; n = n.parent {
+					if n.tag == name {
+						cur = n.parent
+						break
+					}
+				}
+			default:
+				selfClose := strings.HasSuffix(tagSrc, "/")
+				if selfClose {
+					tagSrc = tagSrc[:len(tagSrc)-1]
+				}
+				name, attrs := parseTag(tagSrc)
+				el := &htmlNode{tag: name, attrs: attrs, parent: cur}
+				cur.children = append(cur.children, el)
+				if !selfClose && !voidTags[name] {
+					cur = el
+				}
+			}
+		} else {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = len(src) - i
+			}
+			appendText(cur, src[i:i+j])
+			i += j
+		}
+	}
+	return root
+}
+
+func appendText(parent *htmlNode, text string) {
+	t := strings.TrimFunc(text, unicode.IsSpace)
+	if t == "" {
+		return
+	}
+	parent.children = append(parent.children, &htmlNode{text: decodeEntities(t), parent: parent})
+}
+
+// decodeEntities handles the handful of entities the corpora use.
+func decodeEntities(s string) string {
+	r := strings.NewReplacer(
+		"&amp;", "&", "&lt;", "<", "&gt;", ">",
+		"&quot;", `"`, "&apos;", "'", "&nbsp;", " ",
+		"&deg;", "°", "&le;", "≤", "&ge;", "≥",
+	)
+	return r.Replace(s)
+}
+
+// parseTag splits `name attr="v" flag` into the tag name and attributes.
+func parseTag(src string) (string, map[string]string) {
+	attrs := map[string]string{}
+	fields := splitTagFields(src)
+	if len(fields) == 0 {
+		return "", attrs
+	}
+	name := strings.ToLower(fields[0])
+	for _, f := range fields[1:] {
+		if eq := strings.IndexByte(f, '='); eq >= 0 {
+			k := strings.ToLower(f[:eq])
+			v := strings.Trim(f[eq+1:], `"'`)
+			attrs[k] = v
+		} else if f != "" {
+			attrs[strings.ToLower(f)] = ""
+		}
+	}
+	return name, attrs
+}
+
+// splitTagFields splits on spaces but keeps quoted attribute values
+// intact.
+func splitTagFields(src string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if cur.Len() > 0 {
+				fields = append(fields, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		fields = append(fields, cur.String())
+	}
+	return fields
+}
+
+// textBlockTags start a Text context in the data model.
+var textBlockTags = map[string]bool{
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"p": true, "li": true, "title": true, "blockquote": true, "pre": true,
+	"dd": true, "dt": true,
+}
+
+// ParseHTML parses HTML source into a data model Document. The mapping
+// follows Figure 3 of the paper: headline/paragraph elements become
+// Texts, <table> elements become Tables with Rows/Columns/Cells (with
+// rowspan/colspan honored), <img> becomes a Figure, and <section>/<hr>
+// start new Sections. Sentences carry structural attributes (tag,
+// attributes, ancestor tag path, sibling tags) and textual attributes
+// (lemmas, POS, NER) computed with package nlp.
+func ParseHTML(name, src string) *datamodel.Document {
+	dom := tokenizeHTML(src)
+	b := datamodel.NewBuilder(name, "html")
+	w := &htmlWalker{b: b}
+	w.walk(dom, nil)
+	return b.Finish()
+}
+
+type htmlWalker struct {
+	b *datamodel.Builder
+}
+
+func (w *htmlWalker) walk(n *htmlNode, path []*htmlNode) {
+	for _, c := range n.children {
+		switch {
+		case c.tag == "section" || c.tag == "hr":
+			w.b.NewSection()
+			w.walk(c, append(path, c))
+		case c.tag == "table":
+			w.emitTable(c, append(path, c))
+		case c.tag == "img":
+			fig := w.b.AddFigure(c.attrs["src"])
+			if alt := c.attrs["alt"]; alt != "" {
+				cap := w.b.AddCaption(fig)
+				p := w.b.AddParagraph(cap)
+				w.emitSentences(p, alt, c, append(path, c))
+			}
+		case textBlockTags[c.tag]:
+			text := w.b.AddText()
+			p := w.b.AddParagraph(text)
+			w.emitSentences(p, collectText(c), c, append(path, c))
+		case c.tag == "" && strings.TrimSpace(c.text) != "":
+			// Bare text outside any block: its own Text context.
+			text := w.b.AddText()
+			p := w.b.AddParagraph(text)
+			w.emitSentences(p, c.text, n, path)
+		default:
+			w.walk(c, append(path, c))
+		}
+	}
+}
+
+// emitTable converts a <table> element, honoring rowspan/colspan via a
+// grid-occupancy map, and attaching <caption> when present.
+func (w *htmlWalker) emitTable(tn *htmlNode, path []*htmlNode) {
+	tbl := w.b.AddTable()
+	occupied := map[[2]int]bool{}
+	rowIdx := 0
+	var handleRows func(n *htmlNode)
+	handleRows = func(n *htmlNode) {
+		for _, c := range n.children {
+			switch c.tag {
+			case "caption":
+				cap := w.b.AddCaption(tbl)
+				p := w.b.AddParagraph(cap)
+				w.emitSentences(p, collectText(c), c, append(path, c))
+			case "thead", "tbody", "tfoot":
+				handleRows(c)
+			case "tr":
+				w.b.AddRow(tbl)
+				col := 0
+				for _, cell := range c.children {
+					if cell.tag != "td" && cell.tag != "th" {
+						continue
+					}
+					for occupied[[2]int{rowIdx, col}] {
+						col++
+					}
+					rs := atoiDefault(cell.attrs["rowspan"], 1)
+					cs := atoiDefault(cell.attrs["colspan"], 1)
+					cc := w.b.AddCell(tbl, rowIdx, rowIdx+rs-1, col, col+cs-1)
+					cc.IsHeader = cell.tag == "th"
+					for r := rowIdx; r < rowIdx+rs; r++ {
+						for cdx := col; cdx < col+cs; cdx++ {
+							occupied[[2]int{r, cdx}] = true
+						}
+					}
+					p := w.b.AddParagraph(cc)
+					w.emitSentences(p, collectText(cell), cell, append(path, c, cell))
+					col += cs
+				}
+				rowIdx++
+			}
+		}
+	}
+	handleRows(tn)
+	// Spanning cells may extend below the last <tr>; add rows so the
+	// grid stays rectangular.
+	maxRow := -1
+	for _, c := range tbl.Cells {
+		if c.RowEnd > maxRow {
+			maxRow = c.RowEnd
+		}
+	}
+	for len(tbl.Rows) <= maxRow {
+		w.b.AddRow(tbl)
+	}
+	// Re-link cells to all rows they span (AddCell linked only rows
+	// that existed at insert time).
+	for _, c := range tbl.Cells {
+		for r := c.RowStart; r <= c.RowEnd; r++ {
+			row := tbl.Rows[r]
+			if !rowHasCell(row, c) {
+				row.Cells = append(row.Cells, c)
+			}
+		}
+	}
+}
+
+func rowHasCell(r *datamodel.Row, c *datamodel.Cell) bool {
+	for _, x := range r.Cells {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// emitSentences splits text into sentences and attaches structural and
+// textual attributes derived from the element and its DOM path.
+func (w *htmlWalker) emitSentences(p *datamodel.Paragraph, text string, el *htmlNode, path []*htmlNode) {
+	tags, classes, ids := pathAttrs(path)
+	nodePos, prevTag, nextTag := siblingInfo(el)
+	for _, words := range nlp.SplitSentences(text) {
+		s := w.b.AddSentence(p, words)
+		s.HTMLTag = el.tag
+		if s.HTMLTag == "" {
+			s.HTMLTag = "#text"
+		}
+		for k, v := range el.attrs {
+			s.HTMLAttrs[k] = v
+		}
+		s.AncestorTags = tags
+		s.AncestorClasses = classes
+		s.AncestorIDs = ids
+		s.NodePos = nodePos
+		s.PrevSibTag = prevTag
+		s.NextSibTag = nextTag
+		s.Lemmas = lemmas(words)
+		s.POS = nlp.Tag(words)
+		s.NER = nlp.TagEntities(words)
+	}
+}
+
+func lemmas(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = nlp.Lemmatize(w)
+	}
+	return out
+}
+
+func pathAttrs(path []*htmlNode) (tags, classes, ids []string) {
+	for _, n := range path {
+		if n.tag == "" || n.tag == "#root" {
+			continue
+		}
+		tags = append(tags, n.tag)
+		if c := n.attrs["class"]; c != "" {
+			classes = append(classes, c)
+		}
+		if id := n.attrs["id"]; id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return tags, classes, ids
+}
+
+func siblingInfo(el *htmlNode) (pos int, prevTag, nextTag string) {
+	if el.parent == nil {
+		return 0, "", ""
+	}
+	sibs := el.parent.children
+	idx := -1
+	elemPos := 0
+	for i, s := range sibs {
+		if s == el {
+			idx = i
+			break
+		}
+		if s.tag != "" {
+			elemPos++
+		}
+	}
+	if idx < 0 {
+		return 0, "", ""
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if sibs[i].tag != "" {
+			prevTag = sibs[i].tag
+			break
+		}
+	}
+	for i := idx + 1; i < len(sibs); i++ {
+		if sibs[i].tag != "" {
+			nextTag = sibs[i].tag
+			break
+		}
+	}
+	return elemPos, prevTag, nextTag
+}
+
+// collectText concatenates all descendant text of an element, inserting
+// spaces at element boundaries.
+func collectText(n *htmlNode) string {
+	var sb strings.Builder
+	var rec func(*htmlNode)
+	rec = func(m *htmlNode) {
+		if m.tag == "" {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(m.text)
+			return
+		}
+		for _, c := range m.children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return sb.String()
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return def
+	}
+	return v
+}
+
+// DocStats summarizes a parsed document for debugging and tests.
+func DocStats(d *datamodel.Document) string {
+	words := 0
+	for _, s := range d.Sentences() {
+		words += len(s.Words)
+	}
+	return fmt.Sprintf("%s: %d sections, %d sentences, %d tables, %d words",
+		d.Name, len(d.Sections), len(d.Sentences()), len(d.Tables()), words)
+}

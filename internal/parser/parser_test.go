@@ -1,0 +1,320 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datamodel"
+)
+
+const sampleHTML = `<!DOCTYPE html>
+<html><body>
+<h1 class="part-header" id="hdr">SMBT3904 ... MMBT3904</h1>
+<p>NPN Silicon Switching Transistors.</p>
+<table class="ratings">
+<caption>Maximum Ratings</caption>
+<tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+<tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+<tr><td rowspan="2">Total power dissipation</td><td>Ptot</td><td>330</td><td rowspan="2">mW</td></tr>
+<tr><td>Ptot2</td><td>250</td></tr>
+</table>
+<img src="fig1.png" alt="Package outline drawing">
+</body></html>`
+
+func TestParseHTMLStructure(t *testing.T) {
+	d := ParseHTML("smbt3904", sampleHTML)
+	if len(d.Tables()) != 1 {
+		t.Fatalf("tables = %d, want 1", len(d.Tables()))
+	}
+	tbl := d.Tables()[0]
+	if tbl.NumRows != 4 || tbl.NumCols != 4 {
+		t.Fatalf("grid = %dx%d, want 4x4", tbl.NumRows, tbl.NumCols)
+	}
+	if tbl.Caption == nil {
+		t.Fatal("caption missing")
+	}
+	capText := tbl.Caption.Paragraphs[0].Sentences[0].Text()
+	if capText != "Maximum Ratings" {
+		t.Fatalf("caption = %q", capText)
+	}
+	// Rowspan: "Total power dissipation" covers rows 2-3 of column 0,
+	// so the cell at (3,0) is the same spanning cell.
+	c23 := tbl.CellAt(2, 0)
+	c33 := tbl.CellAt(3, 0)
+	if c23 == nil || c23 != c33 {
+		t.Fatal("rowspan cell not shared across rows")
+	}
+	// The second spanned row's first explicit cell lands in column 1.
+	c31 := tbl.CellAt(3, 1)
+	if c31 == nil || c31.Paragraphs[0].Sentences[0].Words[0] != "Ptot2" {
+		t.Fatalf("CellAt(3,1) = %v", c31)
+	}
+	// Header cells flagged.
+	if h := tbl.CellAt(0, 2); h == nil || !h.IsHeader {
+		t.Fatal("th cell must be IsHeader")
+	}
+	// Figure with alt caption.
+	if len(d.Sections[0].Figures) != 1 {
+		t.Fatalf("figures = %d", len(d.Sections[0].Figures))
+	}
+	fig := d.Sections[0].Figures[0]
+	if fig.URL != "fig1.png" || fig.Caption == nil {
+		t.Fatalf("figure = %+v", fig)
+	}
+}
+
+func TestParseHTMLAttributes(t *testing.T) {
+	d := ParseHTML("smbt3904", sampleHTML)
+	hdr := d.Sentences()[0]
+	if hdr.HTMLTag != "h1" {
+		t.Fatalf("tag = %q", hdr.HTMLTag)
+	}
+	if hdr.HTMLAttrs["class"] != "part-header" || hdr.HTMLAttrs["id"] != "hdr" {
+		t.Fatalf("attrs = %v", hdr.HTMLAttrs)
+	}
+	var found *datamodel.Sentence
+	for _, s := range d.Sentences() {
+		if s.Text() == "200" {
+			found = s
+		}
+	}
+	if found == nil {
+		t.Fatal("no 200 sentence")
+	}
+	if found.HTMLTag != "td" {
+		t.Fatalf("value tag = %q", found.HTMLTag)
+	}
+	joined := strings.Join(found.AncestorTags, ">")
+	if !strings.Contains(joined, "table") || !strings.Contains(joined, "tr") {
+		t.Fatalf("ancestors = %v", found.AncestorTags)
+	}
+	if len(found.Lemmas) != len(found.Words) || len(found.POS) != len(found.Words) {
+		t.Fatal("textual attributes missing")
+	}
+	if found.POS[0] != "CD" {
+		t.Fatalf("POS of 200 = %s", found.POS[0])
+	}
+}
+
+func TestParseHTMLSloppy(t *testing.T) {
+	// Unclosed tags, unquoted attributes, entities, comments.
+	src := `<p class=intro>a &amp; b<br>c</p><!-- note --><p>d`
+	d := ParseHTML("sloppy", src)
+	if len(d.Sentences()) == 0 {
+		t.Fatal("no sentences parsed")
+	}
+	all := ""
+	for _, s := range d.Sentences() {
+		all += " " + s.Text()
+	}
+	for _, want := range []string{"a", "&", "b", "c", "d"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing %q in %q", want, all)
+		}
+	}
+	first := d.Sentences()[0]
+	if first.HTMLAttrs["class"] != "intro" {
+		t.Fatalf("unquoted attr = %v", first.HTMLAttrs)
+	}
+}
+
+func TestParseHTMLSections(t *testing.T) {
+	src := `<p>one</p><hr><p>two</p><section><p>three</p></section>`
+	d := ParseHTML("sections", src)
+	if len(d.Sections) != 3 {
+		t.Fatalf("sections = %d, want 3", len(d.Sections))
+	}
+}
+
+func TestParseXML(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<article id="gwas1">
+  <sec><title>Results</title>
+    <p>The variant rs7329174 was associated with asthma.</p>
+  </sec>
+  <sec>
+    <table-wrap><table>
+      <caption>Significant associations</caption>
+      <tr><th>SNP</th><th>Phenotype</th><th>p-value</th></tr>
+      <tr><td>rs7329174</td><td>asthma</td><td>3e-8</td></tr>
+    </table></table-wrap>
+  </sec>
+</article>`
+	d, err := ParseXML("gwas1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tables()) != 1 {
+		t.Fatalf("tables = %d", len(d.Tables()))
+	}
+	tbl := d.Tables()[0]
+	if tbl.NumRows != 2 || tbl.NumCols != 3 {
+		t.Fatalf("grid = %dx%d", tbl.NumRows, tbl.NumCols)
+	}
+	if tbl.Caption == nil {
+		t.Fatal("xml caption missing")
+	}
+	// XML documents have no visual modality.
+	for _, s := range d.Sentences() {
+		if s.HasVisual() {
+			t.Fatal("xml sentences must not have visuals")
+		}
+	}
+	// Two <sec> elements -> at least two sections (initial may be empty).
+	if len(d.Sections) < 2 {
+		t.Fatalf("sections = %d", len(d.Sections))
+	}
+}
+
+func TestParseXMLMalformed(t *testing.T) {
+	if _, err := ParseXML("bad", `<a><b></a>`); err == nil {
+		t.Fatal("malformed XML must error")
+	}
+}
+
+func TestVDocRoundTrip(t *testing.T) {
+	v := &VDoc{
+		Name:  "doc1",
+		Pages: 2,
+		Words: []VWord{
+			{Text: "SMBT3904", Page: 0, Box: datamodel.Box{X0: 10, Y0: 10, X1: 40, Y1: 14}, Font: datamodel.Font{Name: "Arial", Size: 12, Bold: true}},
+			{Text: "200", Page: 0, Box: datamodel.Box{X0: 50, Y0: 40, X1: 59, Y1: 44}, Font: datamodel.Font{Name: "Arial", Size: 10}},
+			{Text: "mA", Page: 1, Box: datamodel.Box{X0: 70, Y0: 40, X1: 76, Y1: 44}, Font: datamodel.Font{Name: "Arial", Size: 10}},
+		},
+	}
+	got, err := ParseVDoc(FormatVDoc(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != v.Name || got.Pages != v.Pages || len(got.Words) != len(v.Words) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range v.Words {
+		if got.Words[i] != v.Words[i] {
+			t.Errorf("word %d: %+v != %+v", i, got.Words[i], v.Words[i])
+		}
+	}
+}
+
+func TestParseVDocErrors(t *testing.T) {
+	bad := []string{
+		"vdoc 2\n",
+		"doc\n",
+		"font Arial x 0 0\n",
+		"w 0 1 2 3\n",
+		"bogus line\n",
+		"w a 1 2 3 4 word\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseVDoc(src); err == nil {
+			t.Errorf("ParseVDoc(%q) should error", src)
+		}
+	}
+}
+
+func TestAlignVisual(t *testing.T) {
+	d := ParseHTML("smbt3904", sampleHTML)
+	// Build a vdoc whose word stream matches the parsed words, with a
+	// couple of renderer errors: one word dropped, one mangled.
+	var words []VWord
+	y := 10.0
+	for si, s := range d.Sentences() {
+		x := 10.0
+		for wi, w := range s.Words {
+			text := w
+			if si == 1 && wi == 1 {
+				text = "Si1icon" // OCR-style mangling
+			}
+			if si == 2 && wi == 0 {
+				continue // dropped word
+			}
+			words = append(words, VWord{
+				Text: text, Page: 0,
+				Box:  datamodel.Box{X0: x, Y0: y, X1: x + float64(3*len(w)), Y1: y + 4},
+				Font: datamodel.Font{Name: "Arial", Size: 10},
+			})
+			x += float64(3*len(w)) + 2
+		}
+		y += 6
+	}
+	v := &VDoc{Name: "smbt3904", Pages: 1, Words: words}
+	frac := AlignVisual(d, v)
+	if frac < 0.9 {
+		t.Fatalf("matched fraction = %v, want >= 0.9", frac)
+	}
+	if d.Pages != 1 {
+		t.Fatalf("pages = %d", d.Pages)
+	}
+	// Every sentence must now carry visual info (recovery via
+	// interpolation covers the mangled/dropped words).
+	for _, s := range d.Sentences() {
+		if !s.HasVisual() {
+			t.Fatalf("sentence %q lost visuals", s.Text())
+		}
+		for wi := range s.Words {
+			if s.Boxes[wi].Width() <= 0 {
+				t.Fatalf("word %d of %q has empty box", wi, s.Text())
+			}
+		}
+	}
+	// Words in one sentence are horizontally aligned.
+	s := d.Sentences()[3] // a table row sentence
+	a := datamodel.NewSpan(s, 0, 1)
+	if !a.HasVisual() {
+		t.Fatal("span must have visuals")
+	}
+}
+
+func TestAlignVisualEmpty(t *testing.T) {
+	d := ParseHTML("empty", "")
+	v := &VDoc{Name: "empty", Pages: 0}
+	if frac := AlignVisual(d, v); frac != 0 {
+		t.Fatalf("empty align = %v", frac)
+	}
+}
+
+func TestLCSPairsProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		as := make([]string, len(a))
+		for i, c := range a {
+			as[i] = string(rune('a' + c%4))
+		}
+		bs := make([]string, len(b))
+		for i, c := range b {
+			bs[i] = string(rune('a' + c%4))
+		}
+		pairs := lcsPairs(as, bs)
+		// Pairs must be strictly increasing in both coordinates and
+		// match equal words.
+		for i, p := range pairs {
+			if as[p[0]] != bs[p[1]] {
+				return false
+			}
+			if i > 0 && (p[0] <= pairs[i-1][0] || p[1] <= pairs[i-1][1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPairs(t *testing.T) {
+	a := []string{"x", "y", "z", "w"}
+	b := []string{"y", "z", "q", "w"}
+	pairs := greedyPairs(a, b)
+	if len(pairs) != 3 {
+		t.Fatalf("greedy pairs = %v", pairs)
+	}
+}
+
+func TestDocStats(t *testing.T) {
+	d := ParseHTML("smbt3904", sampleHTML)
+	s := DocStats(d)
+	if !strings.Contains(s, "smbt3904") || !strings.Contains(s, "tables") {
+		t.Fatalf("stats = %q", s)
+	}
+}

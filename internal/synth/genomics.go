@@ -1,0 +1,238 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/datamodel"
+	"repro/internal/features"
+	"repro/internal/kbase"
+	"repro/internal/labeling"
+	"repro/internal/matchers"
+)
+
+// Genomics generates the GENOMICS corpus: genome-wide association
+// study (GWAS) articles published natively in XML (no visual
+// modality, as in the paper). The task extracts
+// HasAssociation(snp, phenotype): single-nucleotide polymorphisms
+// found significantly associated with the study phenotype.
+//
+// Structural signature reproduced from the paper:
+//   - every relation is cross-context: the phenotype appears in the
+//     article title/abstract while the rs-ids live in result tables,
+//     so Text-only and Table-only systems extract zero full tuples
+//     (Table 2's GEN column);
+//   - significance is tabular: the p-value column decides which SNPs
+//     are true associations (p < 5e-8) and which are merely genotyped;
+//   - distractor phenotypes appear in related-work prose;
+//   - structural and tabular features are near-perfect because the
+//     input is native XML (Figure 7's GEN panel).
+func Genomics(seed int64, nDocs int) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{Domain: "genomics", GoldKB: map[string]*kbase.Table{},
+		GoldTuples: map[string][]core.GoldTuple{}}
+	const rel = "HasAssociation"
+	c.GoldKB[rel] = kbase.NewTable(mustSchema(rel, "snp", "phenotype"))
+	g := goldSet{}
+
+	phenotypes := []string{"asthma", "type 2 diabetes", "breast cancer", "hypertension",
+		"rheumatoid arthritis", "schizophrenia", "obesity", "glaucoma", "psoriasis", "migraine"}
+
+	for di := 0; di < nDocs; di++ {
+		name := fmt.Sprintf("gwas%04d", di)
+		pheno := pick(rng, phenotypes)
+		distractor := pick(rng, phenotypes)
+		for distractor == pheno {
+			distractor = pick(rng, phenotypes)
+		}
+		nSig := 1 + rng.Intn(3)
+		nNonSig := 2 + rng.Intn(3)
+		var sig, nonsig []string
+		seen := map[string]bool{}
+		genRS := func() string {
+			for {
+				rs := fmt.Sprintf("rs%d", 1000000+rng.Intn(9000000))
+				if !seen[rs] {
+					seen[rs] = true
+					return rs
+				}
+			}
+		}
+		for i := 0; i < nSig; i++ {
+			sig = append(sig, genRS())
+		}
+		for i := 0; i < nNonSig; i++ {
+			nonsig = append(nonsig, genRS())
+		}
+
+		xml := gwasXML(rng, pheno, distractor, sig, nonsig)
+		doc, src, err := buildXMLDoc(name, xml)
+		if err != nil {
+			panic(err)
+		}
+		c.Docs = append(c.Docs, doc)
+		c.Sources = append(c.Sources, src)
+
+		for _, rs := range sig {
+			c.addGold(rel, name, g, rs, pheno)
+		}
+	}
+
+	snpMatcher := matchers.MustRegex(`rs[0-9]{6,8}`)
+	phenoMatcher := matchers.NewDictionary("phenotypes", phenotypes...)
+	task := core.Task{
+		Relation: rel,
+		Schema:   mustSchema(rel, "snp", "phenotype"),
+		Args: []candidates.ArgSpec{
+			{TypeName: "SNP", Matcher: snpMatcher, MaxSpanLen: 1},
+			{TypeName: "Phenotype", Matcher: phenoMatcher, MaxSpanLen: 3},
+		},
+		Throttlers: []candidates.Throttler{gwasThrottler},
+		LFs:        gwasLFs(),
+		Gold:       func(cand *candidates.Candidate) bool { return g.has(cand) },
+	}
+	c.Tasks = append(c.Tasks, task)
+	return c
+}
+
+func gwasXML(rng *rand.Rand, pheno, distractor string, sig, nonsig []string) string {
+	sigP := func() string { return fmt.Sprintf("%de-%d", 1+rng.Intn(9), 8+rng.Intn(4)) }
+	nonsigP := func() string { return fmt.Sprintf("%de-%d", 1+rng.Intn(9), 3+rng.Intn(4)) }
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0"?>` + "\n<article>\n")
+	fmt.Fprintf(&sb, "  <title>Genome-wide association study of %s in a European cohort</title>\n", pheno)
+	fmt.Fprintf(&sb, "  <sec><title>Abstract</title>\n")
+	fmt.Fprintf(&sb, "    <p>We performed a genome-wide association study of %s in %d individuals.</p>\n",
+		pheno, 5000+rng.Intn(50000))
+	fmt.Fprintf(&sb, "    <p>Previous studies reported loci for %s that did not replicate here.</p>\n", distractor)
+	sb.WriteString("  </sec>\n")
+	fmt.Fprintf(&sb, "  <sec><title>Results</title>\n")
+	fmt.Fprintf(&sb, "    <p>Association testing identified %d genome-wide significant loci.</p>\n", len(sig))
+	sb.WriteString("    <table-wrap><table>\n")
+	sb.WriteString("      <caption>Genome-wide significant and suggestive associations</caption>\n")
+	sb.WriteString("      <tr><th>SNP</th><th>Chr</th><th>p-value</th><th>Status</th></tr>\n")
+	type rowT struct {
+		rs, p, status string
+	}
+	var rows []rowT
+	for _, rs := range sig {
+		rows = append(rows, rowT{rs, sigP(), "significant"})
+	}
+	for _, rs := range nonsig {
+		rows = append(rows, rowT{rs, nonsigP(), "suggestive"})
+	}
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "      <tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+			r.rs, 1+rng.Intn(22), r.p, r.status)
+	}
+	sb.WriteString("    </table></table-wrap>\n  </sec>\n")
+	fmt.Fprintf(&sb, "  <sec><title>Discussion</title>\n")
+	fmt.Fprintf(&sb, "    <p>Our findings extend the genetic architecture of %s.</p>\n", pheno)
+	sb.WriteString("  </sec>\n</article>\n")
+	return sb.String()
+}
+
+// gwasThrottler keeps candidates whose SNP mention is tabular and
+// whose phenotype mention is not (the domain's cross-context shape).
+func gwasThrottler(c *candidates.Candidate) bool {
+	return c.Mentions[0].Span.InTable() && !c.Mentions[1].Span.InTable()
+}
+
+// pSignificant reports whether the row containing the SNP carries a
+// genome-wide significant p-value (exponent <= -8 in the mantissa-e
+// notation our tables use).
+func pSignificant(sp datamodel.Span) int {
+	for _, gram := range datamodel.RowNgrams(sp) {
+		if i := strings.Index(gram, "e-"); i > 0 {
+			exp := gram[i+2:]
+			if len(exp) > 0 {
+				var v int
+				if _, err := fmt.Sscanf(exp, "%d", &v); err == nil {
+					if v >= 8 {
+						return 1
+					}
+					return -1
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func gwasLFs() []labeling.LF {
+	// studyPhenotype reports whether the phenotype mention refers to
+	// the phenotype under study (title, "we performed" abstract
+	// sentence, or "our findings" discussion sentence) rather than a
+	// related-work distractor.
+	studyPhenotype := func(c *candidates.Candidate) bool {
+		sp := c.Mentions[1].Span
+		if sp.Sentence.HTMLTag == "title" {
+			return true
+		}
+		for _, w := range sp.Sentence.Words {
+			if strings.EqualFold(w, "performed") || strings.EqualFold(w, "findings") {
+				return true
+			}
+		}
+		return false
+	}
+	return []labeling.LF{
+		// --- Tabular.
+		{Name: "significant_p_and_study_phenotype", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			if pSignificant(c.Mentions[0].Span) == 1 && studyPhenotype(c) {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "nonsignificant_p", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			if pSignificant(c.Mentions[0].Span) == -1 {
+				return -1
+			}
+			return 0
+		}},
+		{Name: "status_row_and_study_phenotype", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			row := datamodel.RowNgrams(c.Mentions[0].Span)
+			if datamodel.Contains(row, "suggestive") {
+				return -1
+			}
+			if datamodel.Contains(row, "significant") && studyPhenotype(c) {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "snp_col_header", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			if !datamodel.Contains(datamodel.ColHeaderNgrams(c.Mentions[0].Span), "snp") {
+				return -1
+			}
+			return 0
+		}},
+		// --- Structural.
+		{Name: "phenotype_in_title_and_sig", Modality: features.Structural, Fn: func(c *candidates.Candidate) int {
+			if c.Mentions[1].Span.Sentence.HTMLTag == "title" && pSignificant(c.Mentions[0].Span) == 1 {
+				return 1
+			}
+			return 0
+		}},
+		// --- Textual.
+		{Name: "previous_studies_context", Modality: features.Textual, Fn: func(c *candidates.Candidate) int {
+			for _, w := range c.Mentions[1].Span.Sentence.Words {
+				if strings.EqualFold(w, "previous") || strings.EqualFold(w, "replicate") {
+					return -1
+				}
+			}
+			return 0
+		}},
+		{Name: "reported_not_replicated", Modality: features.Textual, Fn: func(c *candidates.Candidate) int {
+			for _, w := range c.Mentions[1].Span.Sentence.Words {
+				if strings.EqualFold(w, "reported") {
+					return -1
+				}
+			}
+			return 0
+		}},
+	}
+}

@@ -1,0 +1,255 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/datamodel"
+	"repro/internal/features"
+	"repro/internal/kbase"
+	"repro/internal/labeling"
+	"repro/internal/matchers"
+)
+
+// Paleo generates the PALEONTOLOGY corpus: long journal articles where
+// geological formation names appear in prose sections while the
+// physical measurements live in tables many "pages" later. The task
+// extracts HasMeasurement(formation, length_mm).
+//
+// Structural signature reproduced from the paper:
+//   - candidates are strictly document-level: the formation name and
+//     the measurement never share a sentence, and only ~4% of articles
+//     repeat the formation inside a table (the Table oracle's ceiling);
+//   - documents are long (many sections, filler paragraphs) so the
+//     arguments are separated by pages, exercising document-scope
+//     candidate generation;
+//   - structural features (captions, section structure) carry the
+//     linking signal — the paper sees a 21-F1 drop without them;
+//   - distractor formations appear in comparative prose ("unlike the
+//     X Formation...") and distractor numbers fill width columns and
+//     filler text.
+func Paleo(seed int64, nDocs int) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{Domain: "paleo", GoldKB: map[string]*kbase.Table{},
+		GoldTuples: map[string][]core.GoldTuple{}}
+	const rel = "HasMeasurement"
+	c.GoldKB[rel] = kbase.NewTable(mustSchema(rel, "formation", "length_mm"))
+	g := goldSet{}
+
+	formations := []string{"Morrison Formation", "Hell Creek Formation", "Kayenta Formation",
+		"Chinle Formation", "Wessex Formation", "Yixian Formation", "Dinosaur Park Formation",
+		"Oxford Clay Formation", "Tendaguru Formation", "Lance Formation"}
+	elements := []string{"femur", "tibia", "humerus", "skull", "vertebra", "rib"}
+
+	for di := 0; di < nDocs; di++ {
+		name := fmt.Sprintf("paleo%04d", di)
+		formation := pick(rng, formations)
+		other := pick(rng, formations)
+		for other == formation {
+			other = pick(rng, formations)
+		}
+		nMeas := 2 + rng.Intn(3)
+		var ms []meas
+		used := map[int]bool{}
+		for len(ms) < nMeas {
+			l := 100 + rng.Intn(800)
+			if used[l] {
+				continue
+			}
+			used[l] = true
+			w := 20 + rng.Intn(70)
+			ms = append(ms, meas{elements[len(ms)%len(elements)], l, w, rng.Float64() < 0.3})
+		}
+
+		html := paleoHTML(rng, formation, other, ms)
+		doc, src := buildPDFDoc(name, html, rng, 0.01)
+		c.Docs = append(c.Docs, doc)
+		c.Sources = append(c.Sources, src)
+
+		for _, m := range ms {
+			c.addGold(rel, name, g, formation, fmt.Sprint(m.length))
+		}
+	}
+
+	formationMatcher := matchers.NewDictionary("formations", formations...)
+	lengthMatcher := matchers.NumberRange{Min: 100, Max: 995}
+	task := core.Task{
+		Relation: rel,
+		Schema:   mustSchema(rel, "formation", "length_mm"),
+		Args: []candidates.ArgSpec{
+			{TypeName: "Formation", Matcher: formationMatcher, MaxSpanLen: 3},
+			{TypeName: "Length", Matcher: lengthMatcher, MaxSpanLen: 1},
+		},
+		Throttlers: []candidates.Throttler{paleoThrottler},
+		LFs:        paleoLFs(),
+		Gold:       func(cand *candidates.Candidate) bool { return g.has(cand) },
+	}
+	c.Tasks = append(c.Tasks, task)
+	return c
+}
+
+// meas is one measurement-table row.
+type meas struct {
+	element string
+	length  int
+	width   int
+	// asCM renders the length as centimeters with a decimal point —
+	// the unit-variation slice no fixed-unit matcher can extract (the
+	// recall ceiling real measurement extraction hits).
+	asCM bool
+}
+
+func paleoHTML(rng *rand.Rand, formation, other string, ms []meas) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body>\n")
+	sb.WriteString(`<h1 class="title">A new theropod specimen and its stratigraphic context</h1>` + "\n")
+
+	// Long prose front matter (pushes the table pages away).
+	filler := []string{
+		"The specimen was prepared using standard mechanical techniques over several field seasons.",
+		"Phylogenetic analysis recovered the taxon in a derived position within the clade.",
+		"The depositional environment is interpreted as a low-energy floodplain.",
+		"Previous expeditions to the region recovered fragmentary material of uncertain affinity.",
+		"The matrix consists of fine-grained sandstone with occasional carbonate nodules.",
+	}
+	fmt.Fprintf(&sb, "<section><h2>Introduction</h2>\n")
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		fmt.Fprintf(&sb, "<p>%s</p>\n", pick(rng, filler))
+	}
+	fmt.Fprintf(&sb, "<p>The specimen was collected from the %s during the %d field season.</p>\n",
+		formation, 1970+rng.Intn(50))
+	fmt.Fprintf(&sb, "<p>Unlike material from the %s , the new specimen preserves a complete pelvis.</p>\n", other)
+	sb.WriteString("</section>\n")
+
+	fmt.Fprintf(&sb, "<section><h2>Geological setting</h2>\n")
+	for i := 0; i < 5+rng.Intn(5); i++ {
+		fmt.Fprintf(&sb, "<p>%s</p>\n", pick(rng, filler))
+	}
+	fmt.Fprintf(&sb, "<p>Radiometric dates constrain the section to approximately %d Ma.</p>\n", 66+rng.Intn(100))
+	sb.WriteString("</section>\n")
+
+	// The measurements table, captioned, pages later.
+	fmt.Fprintf(&sb, "<section><h2>Description</h2>\n")
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		fmt.Fprintf(&sb, "<p>%s</p>\n", pick(rng, filler))
+	}
+	sb.WriteString(`<table class="measurements"><caption>Table 1 . Measurements of the holotype</caption>` + "\n")
+	sb.WriteString("<tr><th>Element</th><th>Length ( mm )</th><th>Width ( mm )</th></tr>\n")
+	if rng.Float64() < 0.04 {
+		// Rare: formation repeated inside the table (Table oracle's
+		// only reachable slice).
+		fmt.Fprintf(&sb, "<tr><td>Locality : %s</td><td></td><td></td></tr>\n", formation)
+	}
+	for _, m := range ms {
+		if m.asCM {
+			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%d.%d cm</td><td>%d</td></tr>\n", m.element, m.length/10, m.length%10, m.width)
+		} else {
+			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%d</td><td>%d</td></tr>\n", m.element, m.length, m.width)
+		}
+	}
+	sb.WriteString("</table>\n</section>\n")
+
+	fmt.Fprintf(&sb, "<section><h2>Discussion</h2>\n")
+	for i := 0; i < 3+rng.Intn(3); i++ {
+		fmt.Fprintf(&sb, "<p>%s</p>\n", pick(rng, filler))
+	}
+	fmt.Fprintf(&sb, "<p>Comparable femora from other basins measure up to %d mm in some taxa.</p>\n", 100+rng.Intn(800))
+	sb.WriteString("</section>\n</body></html>\n")
+	return sb.String()
+}
+
+// paleoThrottler keeps length mentions that live in a table (prose
+// numbers are overwhelmingly noise in this domain).
+func paleoThrottler(c *candidates.Candidate) bool {
+	return c.Mentions[1].Span.InTable()
+}
+
+func paleoLFs() []labeling.LF {
+	// collectedFormation reports whether the formation mention comes
+	// from the "collected from the X Formation" sentence — the
+	// high-precision anchor users converge on; the distractor
+	// formations appear only in comparative prose.
+	collectedFormation := func(c *candidates.Candidate) bool {
+		words := c.Mentions[0].Span.Sentence.Words
+		for i := 0; i+1 < len(words); i++ {
+			if strings.EqualFold(words[i], "collected") && strings.EqualFold(words[i+1], "from") {
+				return true
+			}
+		}
+		return false
+	}
+	return []labeling.LF{
+		// --- Tabular (two-sided positives).
+		{Name: "length_col_and_collected_formation", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			if collectedFormation(c) && datamodel.Contains(datamodel.ColHeaderNgrams(c.Mentions[1].Span), "length") {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "measurement_caption_and_collected", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			tbl := c.Mentions[1].Span.Table()
+			if tbl == nil || tbl.Caption == nil || !collectedFormation(c) {
+				return 0
+			}
+			for _, p := range tbl.Caption.Paragraphs {
+				for _, s := range p.Sentences {
+					for _, w := range s.Words {
+						if strings.EqualFold(w, "measurements") {
+							return 1
+						}
+					}
+				}
+			}
+			return 0
+		}},
+		{Name: "width_col_header", Modality: features.Tabular, Fn: func(c *candidates.Candidate) int {
+			if datamodel.Contains(datamodel.ColHeaderNgrams(c.Mentions[1].Span), "width") {
+				return -1
+			}
+			return 0
+		}},
+		// --- Structural. Slightly noisy positive: a prose formation
+		// mention that is not explicitly comparative, paired with a
+		// length-column value.
+		{Name: "formation_in_paragraph_with_length", Modality: features.Structural, Fn: func(c *candidates.Candidate) int {
+			sp := c.Mentions[0].Span
+			if sp.Sentence.HTMLTag != "p" {
+				return 0
+			}
+			for _, w := range sp.Sentence.Words {
+				if strings.EqualFold(w, "unlike") || strings.EqualFold(w, "comparable") {
+					return 0
+				}
+			}
+			if datamodel.Contains(datamodel.ColHeaderNgrams(c.Mentions[1].Span), "length") {
+				return 1
+			}
+			return 0
+		}},
+		{Name: "value_not_in_table", Modality: features.Structural, Fn: func(c *candidates.Candidate) int {
+			if !c.Mentions[1].Span.InTable() {
+				return -1
+			}
+			return 0
+		}},
+		// --- Textual.
+		{Name: "comparative_context", Modality: features.Textual, Fn: func(c *candidates.Candidate) int {
+			for _, w := range c.Mentions[0].Span.Sentence.Words {
+				if strings.EqualFold(w, "unlike") || strings.EqualFold(w, "comparable") {
+					return -1
+				}
+			}
+			return 0
+		}},
+		// --- Visual.
+		{Name: "aligned_length_and_collected", Modality: features.Visual, Fn: func(c *candidates.Candidate) int {
+			if collectedFormation(c) && datamodel.Contains(datamodel.AlignedNgrams(c.Mentions[1].Span), "length") {
+				return 1
+			}
+			return 0
+		}},
+	}
+}

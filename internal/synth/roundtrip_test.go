@@ -1,0 +1,55 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestSourceRoundTrip verifies that every corpus' serialized sources
+// re-parse into documents with the same word content — the contract
+// cmd/synthgen + cmd/fonduer rely on.
+func TestSourceRoundTrip(t *testing.T) {
+	corpora := map[string]*Corpus{
+		"electronics": Electronics(31, 4),
+		"ads":         Ads(32, 4),
+		"paleo":       Paleo(33, 2),
+		"genomics":    Genomics(34, 3),
+	}
+	for name, c := range corpora {
+		for i, d := range c.Docs {
+			src := c.Sources[i]
+			var reparsed = d
+			switch {
+			case src["html"] != "":
+				reparsed = parser.ParseHTML(d.Name, src["html"])
+				if v := src["vdoc"]; v != "" {
+					vd, err := parser.ParseVDoc(v)
+					if err != nil {
+						t.Fatalf("%s/%s: vdoc: %v", name, d.Name, err)
+					}
+					parser.AlignVisual(reparsed, vd)
+				}
+			case src["xml"] != "":
+				var err error
+				reparsed, err = parser.ParseXML(d.Name, src["xml"])
+				if err != nil {
+					t.Fatalf("%s/%s: xml: %v", name, d.Name, err)
+				}
+			default:
+				t.Fatalf("%s/%s: no source", name, d.Name)
+			}
+			if got, want := len(reparsed.Sentences()), len(d.Sentences()); got != want {
+				t.Fatalf("%s/%s: %d sentences reparsed, want %d", name, d.Name, got, want)
+			}
+			for j, s := range reparsed.Sentences() {
+				if s.Text() != d.Sentences()[j].Text() {
+					t.Fatalf("%s/%s: sentence %d %q != %q", name, d.Name, j, s.Text(), d.Sentences()[j].Text())
+				}
+			}
+			if got, want := len(reparsed.Tables()), len(d.Tables()); got != want {
+				t.Fatalf("%s/%s: %d tables, want %d", name, d.Name, got, want)
+			}
+		}
+	}
+}
