@@ -129,6 +129,44 @@ func BenchmarkFigure9_UserStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipelineSpeedup measures the staged-parallel
+// pipeline (extraction + two-pass featurization + LF application)
+// against its Workers=1 execution and reports the wall-clock speedup
+// as a metric. On a multi-core host the speedup approaches
+// min(GOMAXPROCS, cores); see EXPERIMENTS.md for recorded runs.
+func BenchmarkParallelPipelineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SpeedupStudy(benchCfg())
+		if !r.Identical {
+			b.Fatal("parallel run diverged from sequential")
+		}
+		b.ReportMetric(r.SpeedUp, "parallel_speedup_x")
+		b.ReportMetric(float64(r.Workers), "workers")
+	}
+}
+
+// BenchmarkRunSequential / BenchmarkRunParallel time one full pipeline
+// run (ELEC, first relation) at Workers=1 vs the full pool, so
+// `go test -bench=BenchmarkRun` prints the end-to-end contrast.
+func BenchmarkRunSequential(b *testing.B) { benchRunWorkers(b, 1) }
+
+// BenchmarkRunParallel is the GOMAXPROCS-pool counterpart.
+func BenchmarkRunParallel(b *testing.B) { benchRunWorkers(b, 0) }
+
+func benchRunWorkers(b *testing.B, workers int) {
+	cfg := benchCfg()
+	elec := synth.Electronics(cfg.Seed, cfg.ElecDocs)
+	task := elec.Tasks[0]
+	train, test := elec.Split()
+	gold := elec.GoldTuples[task.Relation]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(task, train, test, gold, core.Options{
+			Seed: cfg.Seed, Epochs: cfg.Epochs, Workers: workers})
+		b.ReportMetric(res.Quality.F1, "F1")
+	}
+}
+
 // BenchmarkFeatureCacheOn / Off reproduce Appendix C.1: featurization
 // with and without the mention-level cache.
 func BenchmarkFeatureCacheOn(b *testing.B) { benchCache(b, true) }

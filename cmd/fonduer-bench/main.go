@@ -22,9 +22,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2..table6, fig4, fig6..fig9, cache, sparse")
+	exp := flag.String("exp", "all", "experiment: all, table2..table6, fig4, fig6..fig9, cache, sparse, speedup")
 	fast := flag.Bool("fast", false, "use the small test configuration")
 	seed := flag.Int64("seed", 0, "override the config seed (0 = default)")
+	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -34,6 +35,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	runners := []struct {
 		name string
@@ -51,6 +53,7 @@ func main() {
 		{"fig9", func() fmt.Stringer { return experiments.Figure9(cfg) }},
 		{"cache", func() fmt.Stringer { return experiments.CacheStudy(cfg) }},
 		{"sparse", func() fmt.Stringer { return experiments.DefaultSparseStudy() }},
+		{"speedup", func() fmt.Stringer { return experiments.SpeedupStudy(cfg) }},
 	}
 
 	matched := false

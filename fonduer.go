@@ -37,6 +37,11 @@
 //	}
 //	result := fonduer.Run(task, trainDocs, testDocs, nil, fonduer.Options{})
 //
+// Documents are processed atomically, so the pipeline's extraction,
+// featurization and supervision stages run on a worker pool sized by
+// Options.Workers (0 = all cores, 1 = sequential). Results are
+// bit-identical at any worker count.
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package fonduer

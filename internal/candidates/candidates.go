@@ -60,6 +60,11 @@ func (c *Candidate) String() string {
 // Throttler is a hard filtering rule over candidates (Example 3.4):
 // it reports whether the candidate should be kept. Throttlers trade
 // recall for precision and scalability.
+//
+// The pipeline extracts documents concurrently by default
+// (core.Options.Workers), so throttlers must be safe for concurrent
+// calls — in practice, pure functions of their candidate. A stateful
+// throttler requires Workers = 1.
 type Throttler func(*Candidate) bool
 
 // Scope limits how far apart a candidate's mentions may be — the

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
 	"repro/internal/features"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 )
 
@@ -14,33 +12,39 @@ import (
 // candidate extraction and featurization embarrassingly parallel
 // across documents. These helpers shard a corpus over a worker pool;
 // per-document results are concatenated in corpus order so candidate
-// IDs remain dense and deterministic regardless of worker count.
+// IDs remain dense and deterministic regardless of worker count. Every
+// stage is bit-identical to its sequential counterpart at any worker
+// count, which is what lets the pipeline default to parallel execution
+// without changing a single reproduced number.
+
+// shardByDoc splits a candidate list (in corpus order) into contiguous
+// per-document shards. Sharding at document boundaries keeps each
+// worker's mention cache effective (the cache flushes per document).
+func shardByDoc(cands []*candidates.Candidate) [][]*candidates.Candidate {
+	var shards [][]*candidates.Candidate
+	start := 0
+	for i := 1; i <= len(cands); i++ {
+		if i == len(cands) || cands[i].Doc() != cands[i-1].Doc() {
+			shards = append(shards, cands[start:i])
+			start = i
+		}
+	}
+	return shards
+}
 
 // ParallelExtract runs candidate extraction over the corpus with up to
 // workers goroutines (<=0 means GOMAXPROCS). The result is identical
 // to a sequential ExtractAll: candidates in document order with dense
 // IDs.
 func ParallelExtract(task Task, docs []*datamodel.Document, scope candidates.Scope, throttle bool, workers int) []*candidates.Candidate {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	perDoc := make([][]*candidates.Candidate, len(docs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, d := range docs {
-		wg.Add(1)
-		go func(i int, d *datamodel.Document) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ext := &candidates.Extractor{Args: task.Args, Scope: scope}
-			if throttle {
-				ext.Throttlers = task.Throttlers
-			}
-			perDoc[i] = ext.Extract(d)
-		}(i, d)
-	}
-	wg.Wait()
+	pool.Run(len(docs), workers, func(i int) {
+		ext := &candidates.Extractor{Args: task.Args, Scope: scope}
+		if throttle {
+			ext.Throttlers = task.Throttlers
+		}
+		perDoc[i] = ext.Extract(docs[i])
+	})
 	var out []*candidates.Candidate
 	for _, cs := range perDoc {
 		for _, c := range cs {
@@ -51,61 +55,83 @@ func ParallelExtract(task Task, docs []*datamodel.Document, scope candidates.Sco
 	return out
 }
 
+// ParallelCountFeatures runs the feature-frequency pass (the first
+// pass of two-pass featurization) over per-document shards: each
+// worker counts, per feature name, how many of its candidates the
+// feature fires on; the per-shard maps are merged by summation, which
+// is order-independent, so the merged counts are identical at any
+// worker count. newFx builds a shard-local extractor (one mention
+// cache per shard). The aggregated cache statistics are returned
+// alongside the counts.
+func ParallelCountFeatures(newFx func() *features.Extractor, cands []*candidates.Candidate, workers int) (map[string]int, features.CacheStats) {
+	shards := shardByDoc(cands)
+	perShard := make([]map[string]int, len(shards))
+	stats := make([]features.CacheStats, len(shards))
+	pool.Run(len(shards), workers, func(si int) {
+		fx := newFx()
+		counts := map[string]int{}
+		for _, c := range shards[si] {
+			seen := map[string]bool{}
+			for _, f := range fx.Featurize(c) {
+				if !seen[f.Name] {
+					seen[f.Name] = true
+					counts[f.Name]++
+				}
+			}
+		}
+		perShard[si] = counts
+		stats[si] = fx.Stats()
+	})
+	total := map[string]int{}
+	var st features.CacheStats
+	for si := range perShard {
+		for name, n := range perShard[si] {
+			total[name] += n
+		}
+		st.Hits += stats[si].Hits
+		st.Misses += stats[si].Misses
+	}
+	return total, st
+}
+
 // ParallelFeaturize featurizes candidates with one extractor (and
 // therefore one mention cache) per document shard, writing rows into a
 // LIL matrix against a frozen feature index. The matrix contents match
-// a sequential FeaturizeAll.
-func ParallelFeaturize(ix *features.Index, cands []*candidates.Candidate, workers int) *sparse.LIL {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Shard by document so each worker's cache stays effective.
-	var shards [][]*candidates.Candidate
-	var cur []*candidates.Candidate
-	for i, c := range cands {
-		if i > 0 && c.Doc() != cands[i-1].Doc() {
-			shards = append(shards, cur)
-			cur = nil
-		}
-		cur = append(cur, c)
-	}
-	if len(cur) > 0 {
-		shards = append(shards, cur)
-	}
+// a sequential FeaturizeAll; the merge walks shards in corpus order so
+// row assembly is deterministic. Aggregated cache statistics ride
+// along for the pipeline's CacheStats report.
+func ParallelFeaturize(newFx func() *features.Extractor, ix *features.Index, cands []*candidates.Candidate, workers int) (*sparse.LIL, features.CacheStats) {
+	shards := shardByDoc(cands)
 
 	type rowSet struct {
 		id   int
 		cols []int
 	}
 	rows := make([][]rowSet, len(shards))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for si, shard := range shards {
-		wg.Add(1)
-		go func(si int, shard []*candidates.Candidate) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fx := features.NewExtractor()
-			for _, c := range shard {
-				var cols []int
-				for _, f := range fx.Featurize(c) {
-					if id := ix.ID(f.Name); id >= 0 {
-						cols = append(cols, id)
-					}
+	stats := make([]features.CacheStats, len(shards))
+	pool.Run(len(shards), workers, func(si int) {
+		fx := newFx()
+		for _, c := range shards[si] {
+			var cols []int
+			for _, f := range fx.Featurize(c) {
+				if id := ix.ID(f.Name); id >= 0 {
+					cols = append(cols, id)
 				}
-				rows[si] = append(rows[si], rowSet{id: c.ID, cols: cols})
 			}
-		}(si, shard)
-	}
-	wg.Wait()
+			rows[si] = append(rows[si], rowSet{id: c.ID, cols: cols})
+		}
+		stats[si] = fx.Stats()
+	})
 	m := sparse.NewLIL()
-	for _, shard := range rows {
+	var st features.CacheStats
+	for si, shard := range rows {
 		for _, r := range shard {
 			for _, col := range r.cols {
 				m.Set(r.id, col, 1)
 			}
 		}
+		st.Hits += stats[si].Hits
+		st.Misses += stats[si].Misses
 	}
-	return m
+	return m, st
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
@@ -85,6 +84,12 @@ type Options struct {
 	Seed int64
 	// MaxDocTokens caps the document-level RNN input (Table 6).
 	MaxDocTokens int
+	// Workers sizes the worker pool shared by the pipeline's parallel
+	// stages — candidate extraction, two-pass featurization, and
+	// labeling-function application. <=0 means GOMAXPROCS. Results are
+	// bit-identical at any worker count: documents are processed
+	// atomically and merged in corpus order (Appendix C).
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -128,15 +133,15 @@ type Result struct {
 // variant, classify the test candidates, and evaluate the resulting
 // tuples against the gold. Gold must contain (at least) the test
 // documents' tuples.
+//
+// Extraction, featurization and labeling fan out over a worker pool of
+// Options.Workers goroutines; documents are processed atomically and
+// merged in corpus order, so the Result is bit-identical at any worker
+// count.
 func Run(task Task, train, test []*datamodel.Document, gold []GoldTuple, opts Options) Result {
 	opts.defaults()
-	ext := &candidates.Extractor{Args: task.Args, Scope: opts.Scope}
-	if !opts.NoThrottlers {
-		ext.Throttlers = task.Throttlers
-	}
-	trainCands := ext.ExtractAll(train)
-	ext.Reset()
-	testCands := ext.ExtractAll(test)
+	trainCands := ParallelExtract(task, train, opts.Scope, !opts.NoThrottlers, opts.Workers)
+	testCands := ParallelExtract(task, test, opts.Scope, !opts.NoThrottlers, opts.Workers)
 	return RunWithCandidates(task, trainCands, testCands, test, gold, opts)
 }
 
@@ -147,48 +152,36 @@ func RunWithCandidates(task Task, trainCands, testCands []*candidates.Candidate,
 	opts.defaults()
 	res := Result{TrainCandidates: len(trainCands), TestCandidates: len(testCands)}
 
-	// ---- Multimodal featurization (Phase 3a).
-	fx := features.NewExtractor()
-	fx.UseCache = !opts.NoFeatureCache
-	for _, m := range opts.DisabledModalities {
-		fx.Disabled[m] = true
-	}
+	// ---- Multimodal featurization (Phase 3a), staged over the worker
+	// pool: one extractor (and mention cache) per document shard.
+	disabled := opts.DisabledModalities
 	if opts.Variant == VariantSRV {
 		// SRV learns from HTML features alone: structural + textual.
-		fx.Disabled[features.Tabular] = true
-		fx.Disabled[features.Visual] = true
+		disabled = append(append([]features.Modality{}, disabled...), features.Tabular, features.Visual)
+	}
+	newFx := func() *features.Extractor {
+		fx := features.NewExtractor()
+		fx.UseCache = !opts.NoFeatureCache
+		for _, m := range disabled {
+			fx.Disabled[m] = true
+		}
+		return fx
 	}
 	// First pass: count how many training candidates each feature
-	// fires on, then admit only features above the frequency floor
+	// fires on (sharded per document, counts merged by summation),
+	// then admit only features above the frequency floor
 	// (deterministically, in sorted name order).
-	counts := map[string]int{}
-	for _, c := range trainCands {
-		seen := map[string]bool{}
-		for _, f := range fx.Featurize(c) {
-			if !seen[f.Name] {
-				seen[f.Name] = true
-				counts[f.Name]++
-			}
-		}
-	}
-	names := make([]string, 0, len(counts))
-	for name, n := range counts {
-		if n >= opts.MinFeatureCount {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	ix := features.NewIndex()
-	for _, name := range names {
-		ix.ID(name)
-	}
-	ix.Freeze()
-	trainFeats := sparse.NewLIL()
-	features.FeaturizeAll(fx, ix, trainCands, trainFeats)
-	testFeats := sparse.NewLIL()
-	features.FeaturizeAll(fx, ix, testCands, testFeats)
+	counts, countStats := ParallelCountFeatures(newFx, trainCands, opts.Workers)
+	ix := features.IndexFromCounts(counts, opts.MinFeatureCount)
+	// Second pass: materialize the Features matrices against the
+	// frozen index, again sharded per document.
+	trainFeats, trainStats := ParallelFeaturize(newFx, ix, trainCands, opts.Workers)
+	testFeats, testStats := ParallelFeaturize(newFx, ix, testCands, opts.Workers)
 	res.NumFeatures = ix.Len()
-	res.CacheStats = fx.Stats()
+	res.CacheStats = features.CacheStats{
+		Hits:   countStats.Hits + trainStats.Hits + testStats.Hits,
+		Misses: countStats.Misses + trainStats.Misses + testStats.Misses,
+	}
 
 	// ---- Supervision (Phase 3b): apply LFs, denoise, marginals.
 	var marginals []float64
@@ -200,7 +193,7 @@ func RunWithCandidates(task Task, trainCands, testCands []*candidates.Candidate,
 		if opts.LFs != nil {
 			lfs = opts.LFs
 		}
-		lm := labeling.Apply(lfs, trainCands).Compact()
+		lm := labeling.ParallelApply(lfs, trainCands, opts.Workers).Compact()
 		res.LFMetrics = labeling.ComputeMetrics(lm)
 		if opts.MajorityVote {
 			marginals = labeling.MajorityVote(lm)

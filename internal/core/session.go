@@ -28,17 +28,29 @@ type DevSession struct {
 	// sample maps session candidate order to gold labels when the user
 	// supplies a labeled holdout for accuracy estimates.
 	holdout map[int]bool
+	// Workers sizes the pool used to apply an added or edited LF
+	// across the session's candidates (<=0 means GOMAXPROCS). The
+	// label log is identical at any worker count.
+	Workers int
 }
 
 // NewDevSession extracts candidates from the development documents
-// once and prepares an empty labeling state.
+// once (in parallel across all cores) and prepares an empty labeling
+// state. Use NewDevSessionWorkers to bound the session's parallelism.
 func NewDevSession(task Task, docs []*datamodel.Document) *DevSession {
-	ext := &candidates.Extractor{Args: task.Args, Scope: DocumentScopeDefault(), Throttlers: task.Throttlers}
-	cands := ext.ExtractAll(docs)
+	return NewDevSessionWorkers(task, docs, 0)
+}
+
+// NewDevSessionWorkers is NewDevSession with an explicit worker-pool
+// size governing both the initial extraction and subsequent LF
+// application (<=0 means GOMAXPROCS, 1 means sequential).
+func NewDevSessionWorkers(task Task, docs []*datamodel.Document, workers int) *DevSession {
+	cands := ParallelExtract(task, docs, DocumentScopeDefault(), true, workers)
 	return &DevSession{
-		task:   task,
-		cands:  cands,
-		labels: labeling.NewMatrix(sparse.NewCOO(), len(cands), 0),
+		task:    task,
+		cands:   cands,
+		labels:  labeling.NewMatrix(sparse.NewCOO(), len(cands), 0),
+		Workers: workers,
 	}
 }
 
@@ -59,9 +71,7 @@ func (s *DevSession) AddLF(lf labeling.LF) int {
 	col := len(s.lfs)
 	s.lfs = append(s.lfs, lf)
 	s.labels.NumLFs = len(s.lfs)
-	for _, c := range s.cands {
-		labeling.ApplyOne(s.labels, c, col, lf)
-	}
+	labeling.ParallelApplyColumn(s.labels, s.cands, col, lf, s.Workers)
 	return col
 }
 
@@ -72,9 +82,7 @@ func (s *DevSession) EditLF(col int, lf labeling.LF) error {
 		return fmt.Errorf("core: no labeling function at column %d", col)
 	}
 	s.lfs[col] = lf
-	for _, c := range s.cands {
-		labeling.ApplyOne(s.labels, c, col, lf)
-	}
+	labeling.ParallelApplyColumn(s.labels, s.cands, col, lf, s.Workers)
 	return nil
 }
 

@@ -192,14 +192,78 @@ func TestParallelFeaturizeMatchesSequential(t *testing.T) {
 	features.FeaturizeAll(fx, ix, cands, want)
 	ix.Freeze()
 
-	got := core.ParallelFeaturize(ix, cands, 4)
-	if got.NNZ() != want.NNZ() || got.Rows() != want.Rows() {
-		t.Fatalf("parallel NNZ=%d rows=%d, want NNZ=%d rows=%d",
-			got.NNZ(), got.Rows(), want.NNZ(), want.Rows())
+	for _, workers := range []int{1, 4, 0} {
+		got, stats := core.ParallelFeaturize(features.NewExtractor, ix, cands, workers)
+		if got.NNZ() != want.NNZ() || got.Rows() != want.Rows() {
+			t.Fatalf("workers=%d: parallel NNZ=%d rows=%d, want NNZ=%d rows=%d",
+				workers, got.NNZ(), got.Rows(), want.NNZ(), want.Rows())
+		}
+		for r := 0; r < want.Rows(); r++ {
+			if !reflect.DeepEqual(got.Row(r), want.Row(r)) {
+				t.Fatalf("workers=%d: row %d differs", workers, r)
+			}
+		}
+		if stats.Hits+stats.Misses == 0 {
+			t.Fatalf("workers=%d: no cache activity reported", workers)
+		}
 	}
-	for r := 0; r < want.Rows(); r++ {
-		if !reflect.DeepEqual(got.Row(r), want.Row(r)) {
-			t.Fatalf("row %d differs", r)
+}
+
+// normalizeResult zeroes the wall-clock training timings, the only
+// Result fields that legitimately vary between identical runs.
+func normalizeResult(r core.Result) core.Result {
+	r.TrainStats.SecsPerEpoch = 0
+	r.TrainStats.TotalDuration = 0
+	return r
+}
+
+// TestRunParallelEquivalence is the tentpole determinism guarantee:
+// the full pipeline must produce a bit-identical Result at any worker
+// count — candidate IDs dense in corpus order, the feature index in
+// sorted-name order, the label matrix in candidate order.
+func TestRunParallelEquivalence(t *testing.T) {
+	corpus := synth.Electronics(56, 12)
+	task := corpus.Tasks[0]
+	train, test := corpus.Split()
+	gold := corpus.GoldTuples[task.Relation]
+
+	run := func(workers int) core.Result {
+		return normalizeResult(core.Run(task, train, test, gold,
+			core.Options{Seed: 7, Epochs: 3, Workers: workers}))
+	}
+	want := run(1)
+	if want.TrainCandidates == 0 || want.NumFeatures == 0 {
+		t.Fatalf("degenerate baseline: %+v", want)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Result differs from sequential\n got: %+v\nwant: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestRunParallelEquivalenceAblations checks the determinism guarantee
+// holds with the pipeline's ablation knobs switched on (majority vote,
+// disabled modalities, no feature cache).
+func TestRunParallelEquivalenceAblations(t *testing.T) {
+	corpus := synth.Electronics(57, 10)
+	task := corpus.Tasks[0]
+	train, test := corpus.Split()
+	gold := corpus.GoldTuples[task.Relation]
+	opts := core.Options{
+		Seed: 9, Epochs: 2, MajorityVote: true, NoFeatureCache: true,
+		DisabledModalities: []features.Modality{features.Visual},
+	}
+	run := func(workers int) core.Result {
+		o := opts
+		o.Workers = workers
+		return normalizeResult(core.Run(task, train, test, gold, o))
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: ablated Result differs from sequential", workers)
 		}
 	}
 }

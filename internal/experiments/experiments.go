@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/synth"
 )
 
@@ -21,6 +22,14 @@ type Config struct {
 	Seed                                  int64
 	ElecDocs, AdsDocs, PaleoDocs, GenDocs int
 	Epochs                                int
+	// Workers sizes the pool used to fan out independent pipeline
+	// configurations (and, inside each pipeline, its parallel stages).
+	// <=0 means GOMAXPROCS. Every experiment is seeded, and parallel
+	// pipeline execution is bit-identical to sequential, so results do
+	// not depend on this value. Experiments that measure wall-clock
+	// time (Table 6, Figure 4, the appendix studies) always run their
+	// timed sections back-to-back.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -50,6 +59,32 @@ func Domains(cfg Config) []Domain {
 	}
 }
 
+// innerWorkers is the pipeline-level parallelism under the experiment
+// runner: the experiment-level fan-out owns the worker pool, so each
+// pipeline it launches runs its stages sequentially — concurrency
+// stays exactly one pool wide instead of multiplying per nesting
+// level, and cfg.Workers == 1 means genuinely sequential end to end
+// (the `-workers 1` contract, e.g. for timing baselines). Results are
+// identical either way (bit-identical at any worker count).
+func innerWorkers() int {
+	return 1
+}
+
+// runGrid evaluates fn over an rows x cols grid with one flat fan-out
+// (no nested pools) and returns the results indexed [row][col], so
+// the axis layout is fixed in one place.
+func runGrid[T any](rows, cols, workers int, fn func(r, c int) T) [][]T {
+	out := make([][]T, rows)
+	for r := range out {
+		out[r] = make([]T, cols)
+	}
+	pool.Run(rows*cols, workers, func(k int) {
+		r, c := k/cols, k%cols
+		out[r][c] = fn(r, c)
+	})
+	return out
+}
+
 // runTask executes the standard pipeline for one task of a corpus.
 func runTask(c *synth.Corpus, taskIdx int, cfg Config, opts core.Options) core.Result {
 	task := c.Tasks[taskIdx]
@@ -60,32 +95,52 @@ func runTask(c *synth.Corpus, taskIdx int, cfg Config, opts core.Options) core.R
 	if opts.Seed == 0 {
 		opts.Seed = cfg.Seed
 	}
+	if opts.Workers == 0 {
+		opts.Workers = innerWorkers()
+	}
 	return core.Run(task, train, test, c.GoldTuples[task.Relation], opts)
 }
 
-// averageQuality runs the pipeline on every task of a corpus and
-// averages precision, recall and F1 — how the paper reports
-// multi-relation datasets.
-func averageQuality(c *synth.Corpus, cfg Config, opts core.Options) core.PRF {
+// meanPRF averages precision and recall (recomputing F1) — how the
+// paper reports multi-relation datasets.
+func meanPRF(per []core.PRF) core.PRF {
 	var p, r float64
-	for i := range c.Tasks {
-		res := runTask(c, i, cfg, opts)
-		p += res.Quality.Precision
-		r += res.Quality.Recall
+	for _, q := range per {
+		p += q.Precision
+		r += q.Recall
 	}
-	n := float64(len(c.Tasks))
-	avg := core.NewPRF(p/n, r/n)
-	return avg
+	n := float64(len(per))
+	return core.NewPRF(p/n, r/n)
 }
 
-// averageF1 averages per-task F1 directly (used where the paper
-// reports a single F1 series, e.g. Figures 6-8).
-func averageF1(c *synth.Corpus, cfg Config, opts core.Options) float64 {
+// meanF1 averages per-task F1 directly (used where the paper reports
+// a single F1 series, e.g. Figures 6-8).
+func meanF1(per []core.PRF) float64 {
 	f := 0.0
-	for i := range c.Tasks {
-		f += runTask(c, i, cfg, opts).Quality.F1
+	for _, q := range per {
+		f += q.F1
 	}
-	return f / float64(len(c.Tasks))
+	return f / float64(len(per))
+}
+
+// perTaskQuality runs the pipeline on every task of every listed
+// corpus in one flat fan-out (no nested pools) and returns the
+// quality grid indexed [corpus][task].
+func perTaskQuality(corpora []*synth.Corpus, cfg Config, opts core.Options) [][]core.PRF {
+	type pair struct{ ci, ti int }
+	var pairs []pair
+	out := make([][]core.PRF, len(corpora))
+	for ci, c := range corpora {
+		out[ci] = make([]core.PRF, len(c.Tasks))
+		for ti := range c.Tasks {
+			pairs = append(pairs, pair{ci, ti})
+		}
+	}
+	pool.Run(len(pairs), cfg.Workers, func(k int) {
+		p := pairs[k]
+		out[p.ci][p.ti] = runTask(corpora[p.ci], p.ti, cfg, opts).Quality
+	})
+	return out
 }
 
 // table is a small fixed-width text-table renderer.

@@ -10,7 +10,18 @@ import (
 // The experiment tests use FastConfig (small corpora, few epochs) and
 // assert the *shapes* the paper reports, not absolute values.
 
+// skipSlow gates the full-pipeline experiment tests (which dominate
+// the suite's runtime) behind `go test` without -short; CI runs the
+// short suite on every push and the full suite on a schedule.
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow full-pipeline experiment; run without -short")
+	}
+}
+
 func TestTable2Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Table2(FastConfig())
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -40,6 +51,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestTable3Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Table3(FastConfig())
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -64,6 +76,7 @@ func TestTable3Shapes(t *testing.T) {
 }
 
 func TestTable4And5Shapes(t *testing.T) {
+	skipSlow(t)
 	cfg := FastConfig()
 	r4 := Table4(cfg)
 	if len(r4.Rows) != 4 {
@@ -97,6 +110,7 @@ func TestTable4And5Shapes(t *testing.T) {
 }
 
 func TestTable6Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Table6(FastConfig())
 	if r.DocRNNSecsPerEpoch <= r.FonduerSecsPerEpoch {
 		t.Fatalf("doc RNN (%v s/epoch) must be slower than Fonduer (%v)",
@@ -111,6 +125,7 @@ func TestTable6Shapes(t *testing.T) {
 }
 
 func TestFigure4Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Figure4(FastConfig())
 	if len(r.Points) != 5 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -135,6 +150,7 @@ func TestFigure4Shapes(t *testing.T) {
 }
 
 func TestFigure6Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Figure6(FastConfig())
 	if len(r.F1) != 4 {
 		t.Fatalf("scopes = %d", len(r.F1))
@@ -152,6 +168,7 @@ func TestFigure6Shapes(t *testing.T) {
 }
 
 func TestFigure7Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Figure7(FastConfig())
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -167,6 +184,7 @@ func TestFigure7Shapes(t *testing.T) {
 }
 
 func TestFigure8Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Figure8(FastConfig())
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -184,6 +202,7 @@ func TestFigure8Shapes(t *testing.T) {
 }
 
 func TestFigure9Shapes(t *testing.T) {
+	skipSlow(t)
 	r := Figure9(FastConfig())
 	if len(r.Points) != 6 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -220,6 +239,7 @@ func TestFigure9Shapes(t *testing.T) {
 }
 
 func TestCacheStudy(t *testing.T) {
+	skipSlow(t)
 	r := CacheStudy(FastConfig())
 	if r.Candidates == 0 {
 		t.Fatal("no candidates")

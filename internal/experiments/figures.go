@@ -83,7 +83,7 @@ func Figure4(cfg Config) Figure4Result {
 		te := keepFiltered(testAll, ratio, cfg.Seed+1000+int64(ratio*100))
 		start := time.Now()
 		res := core.RunWithCandidates(task, tr, te, test, gold,
-			core.Options{Epochs: cfg.Epochs, Seed: cfg.Seed, NoThrottlers: true})
+			core.Options{Epochs: cfg.Epochs, Seed: cfg.Seed, NoThrottlers: true, Workers: innerWorkers()})
 		secs := time.Since(start).Seconds()
 		pt := Figure4Point{FilterRatio: ratio, Quality: res.Quality, Seconds: secs}
 		if ratio == 0 {
@@ -115,16 +115,20 @@ type Figure6Result struct {
 	F1     []float64
 }
 
-// Figure6 runs the context-scope study.
+// Figure6 runs the context-scope study; all (scope, task) pipeline
+// runs fan out over one flat worker pool.
 func Figure6(cfg Config) Figure6Result {
 	elec := synth.Electronics(cfg.Seed, cfg.ElecDocs)
-	out := Figure6Result{}
-	for _, scope := range []candidates.Scope{
+	scopes := []candidates.Scope{
 		candidates.SentenceScope, candidates.TableScope,
 		candidates.PageScope, candidates.DocumentScope,
-	} {
-		out.Scopes = append(out.Scopes, scope)
-		out.F1 = append(out.F1, averageF1(elec, cfg, core.Options{Scope: scope}))
+	}
+	quality := runGrid(len(scopes), len(elec.Tasks), cfg.Workers, func(si, ti int) core.PRF {
+		return runTask(elec, ti, cfg, core.Options{Scope: scopes[si]}).Quality
+	})
+	out := Figure6Result{Scopes: scopes, F1: make([]float64, len(scopes))}
+	for si := range scopes {
+		out.F1[si] = meanF1(quality[si])
 	}
 	return out
 }
@@ -154,20 +158,29 @@ type Figure7Result struct {
 }
 
 // Figure7 disables one feature modality at a time on each dataset's
-// first task.
+// first task; all twenty (domain, ablation) configurations fan out.
 func Figure7(cfg Config) Figure7Result {
+	domains := Domains(cfg)
+	ablations := [][]features.Modality{
+		nil,
+		{features.Textual},
+		{features.Structural},
+		{features.Tabular},
+		{features.Visual},
+	}
+	f1 := runGrid(len(domains), len(ablations), cfg.Workers, func(di, ai int) float64 {
+		return runTask(domains[di].Corpus, 0, cfg,
+			core.Options{DisabledModalities: ablations[ai]}).Quality.F1
+	})
 	var out Figure7Result
-	for _, d := range Domains(cfg) {
-		run := func(disabled ...features.Modality) float64 {
-			return runTask(d.Corpus, 0, cfg, core.Options{DisabledModalities: disabled}).Quality.F1
-		}
+	for di, d := range domains {
 		out.Rows = append(out.Rows, Figure7Row{
 			Dataset:      d.Name,
-			All:          run(),
-			NoTextual:    run(features.Textual),
-			NoStructural: run(features.Structural),
-			NoTabular:    run(features.Tabular),
-			NoVisual:     run(features.Visual),
+			All:          f1[di][0],
+			NoTextual:    f1[di][1],
+			NoStructural: f1[di][2],
+			NoTabular:    f1[di][3],
+			NoVisual:     f1[di][4],
 		})
 	}
 	return out
@@ -196,19 +209,23 @@ type Figure8Result struct {
 }
 
 // Figure8 partitions each task's labeling functions into textual and
-// metadata (structural/tabular/visual) pools.
+// metadata (structural/tabular/visual) pools; the twelve (domain, LF
+// pool) configurations fan out.
 func Figure8(cfg Config) Figure8Result {
+	domains := Domains(cfg)
+	const nPools = 3
+	f1 := runGrid(len(domains), nPools, cfg.Workers, func(di, pi int) float64 {
+		task := domains[di].Corpus.Tasks[0]
+		pools := [][]labeling.LF{task.LFs, labeling.MetadataOnly(task.LFs), labeling.TextualOnly(task.LFs)}
+		return runTask(domains[di].Corpus, 0, cfg, core.Options{LFs: pools[pi]}).Quality.F1
+	})
 	var out Figure8Result
-	for _, d := range Domains(cfg) {
-		task := d.Corpus.Tasks[0]
-		run := func(lfs []labeling.LF) float64 {
-			return runTask(d.Corpus, 0, cfg, core.Options{LFs: lfs}).Quality.F1
-		}
+	for di, d := range domains {
 		out.Rows = append(out.Rows, Figure8Row{
 			Dataset:      d.Name,
-			All:          run(task.LFs),
-			OnlyMetadata: run(labeling.MetadataOnly(task.LFs)),
-			OnlyTextual:  run(labeling.TextualOnly(task.LFs)),
+			All:          f1[di][0],
+			OnlyMetadata: f1[di][1],
+			OnlyTextual:  f1[di][2],
 		})
 	}
 	return out

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSpeedupStudy checks the sequential-vs-parallel phase timing
+// harness: the parallel run must produce identical outputs, and the
+// study must report coherent numbers. The magnitude of the speedup is
+// hardware-dependent (≈1x on one core), so it is reported, not
+// asserted.
+func TestSpeedupStudy(t *testing.T) {
+	cfg := FastConfig()
+	cfg.ElecDocs = 8
+	r := SpeedupStudy(cfg)
+	if !r.Identical {
+		t.Fatal("parallel phases diverged from sequential")
+	}
+	if r.Candidates == 0 || r.Docs == 0 {
+		t.Fatalf("degenerate corpus: %+v", r)
+	}
+	if r.SeqSecs <= 0 || r.ParSecs <= 0 || r.SpeedUp <= 0 {
+		t.Fatalf("bad timings: %+v", r)
+	}
+	if s := r.String(); len(s) == 0 {
+		t.Fatal("render")
+	}
+}
+
+// TestExperimentRunnerDeterminism runs one full experiment at
+// Workers=1 and Workers=8 and requires identical results — the
+// experiment-level counterpart of the core pipeline's equivalence
+// guarantee, covering the fan-out runner itself.
+func TestExperimentRunnerDeterminism(t *testing.T) {
+	skipSlow(t)
+	cfg := FastConfig()
+	cfg.AdsDocs = 12
+	run := func(workers int) Table5Result {
+		c := cfg
+		c.Workers = workers
+		return Table5(c)
+	}
+	want := run(1)
+	if got := run(8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Table5 differs across worker counts:\n got: %+v\nwant: %+v", got, want)
+	}
+}

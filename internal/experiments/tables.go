@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kbase"
 	"repro/internal/oracle"
+	"repro/internal/pool"
 	"repro/internal/synth"
 )
 
@@ -27,10 +28,18 @@ type Table2Result struct {
 }
 
 // Table2 runs the oracle comparison (Section 5.2.1). Oracles are
-// evaluated on the test split, like Fonduer.
+// evaluated on the test split, like Fonduer. All (domain, task)
+// pipeline runs fan out over one flat worker pool; the cheap oracle
+// evaluations run inline.
 func Table2(cfg Config) Table2Result {
-	var out Table2Result
-	for _, d := range Domains(cfg) {
+	domains := Domains(cfg)
+	corpora := make([]*synth.Corpus, len(domains))
+	for di, d := range domains {
+		corpora[di] = d.Corpus
+	}
+	quality := perTaskQuality(corpora, cfg, core.Options{})
+	rows := make([]Table2Row, len(domains))
+	for di, d := range domains {
 		row := Table2Row{Dataset: d.Name}
 		_, test := d.Corpus.Split()
 		// Oracle upper bounds, averaged over the domain's tasks.
@@ -45,10 +54,10 @@ func Table2(cfg Config) Table2Result {
 		row.Text = scalePRF(tx, 1/n)
 		row.Table = scalePRF(tb, 1/n)
 		row.Ensemble = scalePRF(en, 1/n)
-		row.Fonduer = averageQuality(d.Corpus, cfg, core.Options{})
-		out.Rows = append(out.Rows, row)
+		row.Fonduer = meanPRF(quality[di])
+		rows[di] = row
 	}
-	return out
+	return Table2Result{Rows: rows}
 }
 
 func addPRF(a, b core.PRF) core.PRF {
@@ -103,12 +112,14 @@ func Table3(cfg Config) Table3Result {
 		{"ELEC.", synth.Electronics(cfg.Seed, cfg.ElecDocs), []string{"Digi-Key (sim)"}, []float64{0.85}},
 		{"GEN.", synth.Genomics(cfg.Seed+3, cfg.GenDocs), []string{"GWAS Central (sim)", "GWAS Catalog (sim)"}, []float64{0.45, 0.60}},
 	}
-	for _, d := range domains {
+	perDomain := make([][]Table3Row, len(domains))
+	pool.Run(len(domains), cfg.Workers, func(di int) {
+		d := domains[di]
 		task := d.corpus.Tasks[0]
 		train, _ := d.corpus.Split()
 		// Production mode: finalized LFs, classify the whole corpus.
 		res := core.Run(task, train, d.corpus.Docs, d.corpus.GoldTuples[task.Relation],
-			core.Options{Epochs: cfg.Epochs, Seed: cfg.Seed})
+			core.Options{Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: innerWorkers()})
 		// Corpus-level predicted KB (drop document scoping).
 		predKB := kbase.NewTable(task.Schema)
 		for _, t := range res.Predicted {
@@ -143,13 +154,16 @@ func Table3(cfg Config) Table3Result {
 			if existing.Len() > 0 {
 				inc = float64(correct) / float64(existing.Len())
 			}
-			out.Rows = append(out.Rows, Table3Row{
+			perDomain[di] = append(perDomain[di], Table3Row{
 				Dataset: d.name, KBName: kbName,
 				EntriesKB: existing.Len(), EntriesFonduer: predKB.Len(),
 				Coverage: cmp.Coverage, Accuracy: acc,
 				NewCorrect: newCorrect, Increase: inc,
 			})
 		}
+	})
+	for _, rows := range perDomain {
+		out.Rows = append(out.Rows, rows...)
 	}
 	return out
 }
@@ -207,15 +221,21 @@ type Table4Result struct {
 
 // Table4 runs the featurization study (Section 5.3.3): a human-tuned
 // multimodal feature model, a text-only Bi-LSTM with attention, and
-// Fonduer's combined model, on each dataset's first task.
+// Fonduer's combined model, on each dataset's first task. All twelve
+// (domain, variant) configurations fan out over the worker pool.
 func Table4(cfg Config) Table4Result {
+	domains := Domains(cfg)
+	variants := []core.Variant{core.VariantHumanTuned, core.VariantTextLSTM, core.VariantFonduer}
+	quality := runGrid(len(domains), len(variants), cfg.Workers, func(di, vi int) core.PRF {
+		return runTask(domains[di].Corpus, 0, cfg, core.Options{Variant: variants[vi]}).Quality
+	})
 	var out Table4Result
-	for _, d := range Domains(cfg) {
+	for di, d := range domains {
 		out.Rows = append(out.Rows, Table4Row{
 			Dataset:    d.Name,
-			HumanTuned: runTask(d.Corpus, 0, cfg, core.Options{Variant: core.VariantHumanTuned}).Quality,
-			BiLSTM:     runTask(d.Corpus, 0, cfg, core.Options{Variant: core.VariantTextLSTM}).Quality,
-			Fonduer:    runTask(d.Corpus, 0, cfg, core.Options{Variant: core.VariantFonduer}).Quality,
+			HumanTuned: quality[di][0],
+			BiLSTM:     quality[di][1],
+			Fonduer:    quality[di][2],
 		})
 	}
 	return out
@@ -239,13 +259,15 @@ type Table5Result struct {
 	Fonduer core.PRF
 }
 
-// Table5 runs the SRV comparison.
+// Table5 runs the SRV comparison; the two feature models fan out.
 func Table5(cfg Config) Table5Result {
 	ads := synth.Ads(cfg.Seed+1, cfg.AdsDocs)
-	return Table5Result{
-		SRV:     runTask(ads, 0, cfg, core.Options{Variant: core.VariantSRV}).Quality,
-		Fonduer: runTask(ads, 0, cfg, core.Options{Variant: core.VariantFonduer}).Quality,
-	}
+	variants := []core.Variant{core.VariantSRV, core.VariantFonduer}
+	quality := make([]core.PRF, len(variants))
+	pool.Run(len(variants), cfg.Workers, func(i int) {
+		quality[i] = runTask(ads, 0, cfg, core.Options{Variant: variants[i]}).Quality
+	})
+	return Table5Result{SRV: quality[0], Fonduer: quality[1]}
 }
 
 // String renders the Table 5 layout.

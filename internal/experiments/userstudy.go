@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/labeling"
+	"repro/internal/pool"
 	"repro/internal/synth"
 )
 
@@ -65,14 +66,22 @@ func Figure9(cfg Config) Figure9Result {
 
 	runWith := func(marginals []float64) float64 {
 		res := core.RunWithCandidates(task, trainCands, testCands, test, gold, core.Options{
-			Epochs: cfg.Epochs, Seed: cfg.Seed, Marginals: marginals,
+			Epochs: cfg.Epochs, Seed: cfg.Seed, Marginals: marginals, Workers: innerWorkers(),
 		})
 		return res.Quality.F1
 	}
 
 	lfInterval := float64(totalMinutes) / float64(len(task.LFs))
-	var out Figure9Result
+	// The checkpoints are independent simulations (each trains from
+	// scratch on its own label state), so they fan out over the worker
+	// pool; points land in minute order.
+	var minutes []int
 	for minute := 5; minute <= totalMinutes; minute += 5 {
+		minutes = append(minutes, minute)
+	}
+	out := Figure9Result{Points: make([]Figure9Point, len(minutes))}
+	pool.Run(len(minutes), cfg.Workers, func(mi int) {
+		minute := minutes[mi]
 		// Manual condition: gold labels for the first k candidates,
 		// everything else uninformative.
 		k := int(manualRate * float64(minute))
@@ -97,7 +106,7 @@ func Figure9(cfg Config) Figure9Result {
 		if n > len(task.LFs) {
 			n = len(task.LFs)
 		}
-		lm := labeling.Apply(task.LFs[:n], trainCands).Compact()
+		lm := labeling.ParallelApply(task.LFs[:n], trainCands, innerWorkers()).Compact()
 		labeled := 0
 		for i := 0; i < lm.NumCands; i++ {
 			if len(lm.RowLabels(i)) > 0 {
@@ -107,11 +116,11 @@ func Figure9(cfg Config) Figure9Result {
 		gen := labeling.Fit(lm, labeling.FitOptions{})
 		lfF1 := runWith(gen.Marginals(lm))
 
-		out.Points = append(out.Points, Figure9Point{
+		out.Points[mi] = Figure9Point{
 			Minute: minute, ManualF1: manualF1, LFF1: lfF1,
 			ManualLabels: k, LFLabels: labeled,
-		})
-	}
+		}
+	})
 
 	out.ModalityRatio = map[features.Modality]float64{}
 	for _, lf := range task.LFs {

@@ -14,6 +14,7 @@ package features
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/candidates"
@@ -405,6 +406,27 @@ func (ix *Index) Len() int { return len(ix.names) }
 
 // Freeze stops the index from growing.
 func (ix *Index) Freeze() { ix.frozen = true }
+
+// IndexFromCounts builds a frozen index from a feature-frequency map,
+// admitting names occurring at least minCount times, in sorted name
+// order — the deterministic index construction of the pipeline's
+// two-pass featurization. Column ids therefore never depend on map
+// iteration or on the order per-shard counts were merged in.
+func IndexFromCounts(counts map[string]int, minCount int) *Index {
+	names := make([]string, 0, len(counts))
+	for name, n := range counts {
+		if n >= minCount {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ix := NewIndex()
+	for _, name := range names {
+		ix.ID(name)
+	}
+	ix.Freeze()
+	return ix
+}
 
 // FeaturizeAll featurizes a candidate set into a sparse indicator
 // matrix (rows = candidate IDs, columns = feature ids), growing the

@@ -21,6 +21,12 @@ import (
 )
 
 // LF is a labeling function. Fn returns +1, -1, or 0 (abstain).
+//
+// The pipeline applies LFs concurrently across candidates by default
+// (core.Options.Workers), so Fn must be safe for concurrent calls —
+// in practice, a pure function of its candidate, which every LF in
+// this repository is. An Fn that mutates captured state requires
+// Workers = 1 (fully sequential application).
 type LF struct {
 	Name string
 	// Modality records which data modality the LF's pattern uses —
@@ -61,14 +67,7 @@ func Apply(lfs []LF, cands []*candidates.Candidate) *Matrix {
 // matrix — the incremental path used when a user edits one LF during
 // iterative development.
 func ApplyOne(m *Matrix, c *candidates.Candidate, col int, lf LF) {
-	v := lf.Fn(c)
-	if v > 1 {
-		v = 1
-	}
-	if v < -1 {
-		v = -1
-	}
-	m.M.Set(c.ID, col, float64(v))
+	m.M.Set(c.ID, col, float64(clampVote(lf.Fn(c))))
 }
 
 // Label returns Λ[i,j] as -1, 0 or +1.

@@ -1,0 +1,58 @@
+// Package pool is the one worker-pool primitive shared by every
+// parallel stage in the system (core's extraction/featurization,
+// labeling's LF application, experiments' configuration fan-out).
+// It lives below all of them so packages that cannot import each
+// other (core imports labeling) still share a single implementation.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: <=0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes fn(i) for every i in [0, n) on up to workers
+// goroutines (<=0 means GOMAXPROCS). With one worker (or one task)
+// the calls run sequentially in index order on the calling goroutine.
+// Callers must write results into per-index slots so that output
+// order never depends on goroutine scheduling — the discipline behind
+// the pipeline's bit-identical-at-any-worker-count guarantee.
+func Run(n, workers int, fn func(int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Fixed worker goroutines pulling indices from a shared counter:
+	// O(workers) goroutines regardless of n, no parked spawn-per-item
+	// goroutines.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d", got)
+	}
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+}
+
+// TestRunCoversEveryIndexOnce checks the contract every parallel stage
+// relies on: fn runs exactly once per index, for any worker count,
+// including workers > n, n == 0 and n == 1.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 1000} {
+		for _, workers := range []int{1, 2, 8, 0, 2000} {
+			calls := make([]atomic.Int32, n)
+			Run(n, workers, func(i int) { calls[i].Add(1) })
+			for i := range calls {
+				if got := calls[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSequentialOrder checks that one worker runs indices in order
+// on the calling goroutine — the degenerate case the determinism
+// arguments reduce to.
+func TestRunSequentialOrder(t *testing.T) {
+	var seen []int
+	Run(5, 1, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("order = %v", seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("len = %d", len(seen))
+	}
+}
