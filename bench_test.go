@@ -167,6 +167,63 @@ func benchRunWorkers(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkIngestScratch vs BenchmarkIngestIncremental contrast the
+// two ways of growing a knowledge-base session by B batches of
+// documents: rebuilding the whole store from scratch after every
+// batch (what a store-less pipeline forces) versus Store.AddDocuments
+// ingesting each batch's delta only. Both end in the identical store
+// state; the incremental path does O(corpus) total stage work instead
+// of O(corpus * batches).
+const ingestBatches = 6
+
+func ingestCorpus() (*synth.Corpus, [][]*Document) {
+	elec := synth.Electronics(8, 24)
+	per := (len(elec.Docs) + ingestBatches - 1) / ingestBatches
+	var batches [][]*Document
+	for lo := 0; lo < len(elec.Docs); lo += per {
+		hi := lo + per
+		if hi > len(elec.Docs) {
+			hi = len(elec.Docs)
+		}
+		batches = append(batches, elec.Docs[lo:hi])
+	}
+	return elec, batches
+}
+
+// BenchmarkIngestScratch rebuilds the session from scratch after each
+// arriving batch.
+func BenchmarkIngestScratch(b *testing.B) {
+	elec, batches := ingestCorpus()
+	task := elec.Tasks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= len(batches); k++ {
+			st := core.NewStore(task, core.Options{})
+			for _, batch := range batches[:k] {
+				if err := st.AddDocuments(batch...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkIngestIncremental ingests each batch's delta into one
+// long-lived store.
+func BenchmarkIngestIncremental(b *testing.B) {
+	elec, batches := ingestCorpus()
+	task := elec.Tasks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.NewStore(task, core.Options{})
+		for _, batch := range batches {
+			if err := st.AddDocuments(batch...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkFeatureCacheOn / Off reproduce Appendix C.1: featurization
 // with and without the mention-level cache.
 func BenchmarkFeatureCacheOn(b *testing.B) { benchCache(b, true) }

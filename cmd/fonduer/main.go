@@ -9,6 +9,13 @@
 // Usage:
 //
 //	fonduer -dir ./corpus -domain electronics [-relation HasCollectorCurrent] [-threshold 0.5]
+//
+// With -store <dir>, the session's intermediate relations (candidates,
+// features, feature counts, labels) are persisted per relation under
+// <dir>/<relation>; a later invocation with the same -store resumes
+// from the snapshot — skipping document parsing and candidate
+// extraction entirely — and re-runs only training and classification
+// (e.g. with a different -threshold, -epochs or -seed).
 package main
 
 import (
@@ -30,24 +37,16 @@ func main() {
 	epochs := flag.Int("epochs", 16, "training epochs")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "write each relation's KB as TSV into this directory")
+	store := flag.String("store", "", "persist the session's relations under this directory and resume from them when present")
 	flag.Parse()
 
-	if err := run(*dir, *domain, *relation, *threshold, *epochs, *seed, *out); err != nil {
+	if err := run(*dir, *domain, *relation, *threshold, *epochs, *seed, *out, *store); err != nil {
 		fmt.Fprintln(os.Stderr, "fonduer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir string) error {
-	docs, err := loadDocs(filepath.Join(dir, "docs"))
-	if err != nil {
-		return err
-	}
-	if len(docs) == 0 {
-		return fmt.Errorf("no documents found under %s", dir)
-	}
-	fmt.Printf("parsed %d documents\n", len(docs))
-
+func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir, storeDir string) error {
 	// Task definitions come from the domain's built-in tasks (the
 	// matchers, throttlers and labeling functions a user would write).
 	ref, err := referenceCorpus(domain)
@@ -55,19 +54,76 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 		return err
 	}
 
+	// Documents are parsed lazily: a fully resumed -store session never
+	// touches the corpus sources at all.
+	var docs []*fonduer.Document
+	docsLoaded := false
+	loadCorpus := func() error {
+		if docsLoaded {
+			return nil
+		}
+		docs, err = loadDocs(filepath.Join(dir, "docs"))
+		if err != nil {
+			return err
+		}
+		if len(docs) == 0 {
+			return fmt.Errorf("no documents found under %s", dir)
+		}
+		docsLoaded = true
+		fmt.Printf("parsed %d documents\n", len(docs))
+		return nil
+	}
+
+	ranTask := false
 	kb := fonduer.NewKB()
 	for _, task := range ref.Tasks {
 		if relation != "" && task.Relation != relation {
 			continue
 		}
+		ranTask = true
 		gold, err := loadGold(filepath.Join(dir, "gold", task.Relation+".tsv"))
 		if err != nil {
 			return err
 		}
-		train, test := split(docs)
-		res := fonduer.Run(task, train, test, gold, fonduer.Options{
-			Threshold: threshold, Epochs: epochs, Seed: seed,
-		})
+		opts := fonduer.Options{Threshold: threshold, Epochs: epochs, Seed: seed}
+
+		var res fonduer.Result
+		if storeDir == "" {
+			if err := loadCorpus(); err != nil {
+				return err
+			}
+			train, test := split(docs)
+			res = fonduer.Run(task, train, test, gold, opts)
+		} else {
+			snapDir := filepath.Join(storeDir, task.Relation)
+			var st *fonduer.Store
+			if fonduer.IsStoreDir(snapDir) {
+				st, err = fonduer.OpenStore(snapDir, task, opts)
+				if err != nil {
+					return fmt.Errorf("resuming %s: %w", snapDir, err)
+				}
+				fmt.Printf("resumed %s session from %s: %d documents, %d candidates (no re-parse, no re-extract)\n",
+					task.Relation, snapDir, len(st.DocNames()), len(st.Candidates()))
+			} else {
+				if err := loadCorpus(); err != nil {
+					return err
+				}
+				st = fonduer.NewStore(task, opts)
+				if err := st.AddDocuments(docs...); err != nil {
+					return err
+				}
+				if err := st.Snapshot(snapDir); err != nil {
+					return err
+				}
+				fmt.Printf("persisted %s session to %s: %d documents, %d candidates\n",
+					task.Relation, snapDir, len(st.DocNames()), len(st.Candidates()))
+			}
+			trainNames, testNames := splitNames(st.DocNames())
+			res, err = st.RunSplit(trainNames, testNames, gold)
+			if err != nil {
+				return err
+			}
+		}
 		fmt.Printf("\n== %s ==\n", task.Relation)
 		fmt.Printf("candidates: %d train / %d test; features: %d; LF coverage: %.2f\n",
 			res.TrainCandidates, res.TestCandidates, res.NumFeatures, res.LFMetrics.Coverage)
@@ -97,6 +153,9 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 			}
 			fmt.Printf("wrote %s\n", filepath.Join(outDir, task.Relation+".tsv"))
 		}
+	}
+	if !ranTask {
+		return fmt.Errorf("no task matches relation %q in domain %q", relation, domain)
 	}
 	return nil
 }
@@ -179,13 +238,34 @@ func loadGold(path string) ([]fonduer.GoldTuple, error) {
 	return out, nil
 }
 
-func split(docs []*fonduer.Document) (train, test []*fonduer.Document) {
-	for i, d := range docs {
+// splitNames alternates documents into train/test by position. It is
+// the single partition rule: both the fresh path (split) and the
+// store-resume path consume it, so the two invocation styles can
+// never disagree on the split.
+func splitNames(names []string) (train, test []string) {
+	for i, n := range names {
 		if i%2 == 0 {
-			train = append(train, d)
+			train = append(train, n)
 		} else {
-			test = append(test, d)
+			test = append(test, n)
 		}
+	}
+	return train, test
+}
+
+func split(docs []*fonduer.Document) (train, test []*fonduer.Document) {
+	byName := make(map[string]*fonduer.Document, len(docs))
+	names := make([]string, len(docs))
+	for i, d := range docs {
+		byName[d.Name] = d
+		names[i] = d.Name
+	}
+	trainNames, testNames := splitNames(names)
+	for _, n := range trainNames {
+		train = append(train, byName[n])
+	}
+	for _, n := range testNames {
+		test = append(test, byName[n])
 	}
 	return train, test
 }

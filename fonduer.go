@@ -18,7 +18,11 @@
 //     generative label model;
 //   - a multimodal Bi-LSTM with attention, trained noise-aware, plus
 //     the paper's baseline models;
-//   - a small relational store for the output knowledge base.
+//   - a small relational store holding the output knowledge base and
+//     the pipeline's intermediate relations, with store-backed
+//     sessions (NewStore/OpenStore) that ingest documents
+//     incrementally and resume from disk snapshots without
+//     re-parsing or re-extracting.
 //
 // # Quickstart
 //
@@ -320,3 +324,39 @@ func MostUncertain(cands []*Candidate, marginals []float64, k int) []UncertainCa
 // ReadKBTable parses a knowledge-base table previously serialized with
 // KBTable.WriteTSV.
 func ReadKBTable(r io.Reader) (*KBTable, error) { return kbase.ReadTSV(r) }
+
+// Store-backed sessions: the pipeline's intermediate relations
+// (Candidates, Features, FeatureCounts, Labels) materialized in the
+// relational store, supporting incremental document ingestion,
+// labeling-function iteration without re-extraction, and
+// snapshot/resume across process invocations — the role the paper's
+// PostgreSQL database plays. See DESIGN.md §"Store-backed staged
+// pipeline".
+type (
+	// Store is one extraction session's persistent state.
+	Store = core.Store
+)
+
+// NewStore creates an empty session store for a task; opts fixes the
+// session's featurization/supervision configuration.
+func NewStore(task Task, opts Options) *Store { return core.NewStore(task, opts) }
+
+// OpenStore resumes a session snapshotted with Store.Snapshot,
+// skipping parsing and candidate extraction entirely. task re-supplies
+// the labeling functions (code is not persisted); opts must match the
+// persisted configuration on the knobs that shaped the relations.
+func OpenStore(dir string, task Task, opts Options) (*Store, error) {
+	return core.OpenStore(dir, task, opts)
+}
+
+// IsStoreDir reports whether dir holds a store snapshot.
+func IsStoreDir(dir string) bool { return core.IsStoreDir(dir) }
+
+// SessionFromStore wraps a store (e.g. a resumed one) in the
+// development-mode DevSession view.
+func SessionFromStore(st *Store) *DevSession { return core.SessionFromStore(st) }
+
+// Float64 returns a pointer to v, for Options' ThresholdOverride /
+// L2Override fields (exact values, including 0, that the plain fields'
+// zero-value defaults cannot express).
+func Float64(v float64) *float64 { return core.Float64(v) }

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// TestOptionsThresholdZeroBehavior runs the (cheap) human-tuned
+// variant end to end and checks a literal zero threshold is really in
+// effect: every test candidate with positive predicted probability is
+// classified true, so predictions can only grow relative to a high
+// threshold. Before ThresholdOverride existed, Threshold = 0 silently
+// snapped back to 0.5 and this setting was unreachable.
+func TestOptionsThresholdZeroBehavior(t *testing.T) {
+	corpus := synth.Electronics(31, 8)
+	task := corpus.Tasks[0]
+	train, test := corpus.Split()
+	gold := corpus.GoldTuples[task.Relation]
+
+	base := core.Options{Variant: core.VariantHumanTuned, Seed: 3, Epochs: 2}
+	high := base
+	high.Threshold = 0.999999
+	low := base
+	low.ThresholdOverride = core.Float64(0)
+
+	nHigh := len(core.Run(task, train, test, gold, high).Predicted)
+	nLow := len(core.Run(task, train, test, gold, low).Predicted)
+	if nLow < nHigh {
+		t.Fatalf("threshold-0 predictions (%d) must not be fewer than threshold-0.999999 (%d)", nLow, nHigh)
+	}
+	if nLow == 0 {
+		t.Fatal("threshold 0 should classify the positive-probability candidates")
+	}
+}
+
+// TestOptionsL2OffBehavior checks L2Override(0) actually disables
+// weight decay: the trained weights (and therefore the run's
+// predictions or final loss) differ from the default-L2 run, and the
+// option survives the defaults pass end to end.
+func TestOptionsL2OffBehavior(t *testing.T) {
+	corpus := synth.Electronics(32, 8)
+	task := corpus.Tasks[0]
+	train, test := corpus.Split()
+	gold := corpus.GoldTuples[task.Relation]
+
+	base := core.Options{Seed: 4, Epochs: 2}
+	off := base
+	off.L2Override = core.Float64(0)
+	strong := base
+	strong.L2 = 0.05
+
+	resOff := core.Run(task, train, test, gold, off)
+	resStrong := core.Run(task, train, test, gold, strong)
+	// Weight decay shrinks weights every step; with it off the final
+	// loss trajectory must differ from a strongly regularized run.
+	if resOff.TrainStats.FinalLoss == resStrong.TrainStats.FinalLoss {
+		t.Fatalf("L2 off and L2=0.05 trained identically (loss %v)", resOff.TrainStats.FinalLoss)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/features"
 	"repro/internal/labeling"
 	"repro/internal/model"
-	"repro/internal/sparse"
 )
 
 // Variant selects which discriminative model the pipeline trains —
@@ -46,14 +45,26 @@ func (v Variant) String() string {
 }
 
 // Options configure one pipeline run.
+//
+// Zero-value sentinels: several float fields treat 0 as "use the
+// default" (documented per field). Where the zero is itself a
+// meaningful setting — a classification threshold of 0, L2 turned off
+// — use the corresponding *Override pointer field, which expresses
+// every value exactly.
 type Options struct {
 	// Variant selects the model (default VariantFonduer).
 	Variant Variant
 	// Scope is the candidate context scope (default DocumentScope).
 	Scope candidates.Scope
 	// Threshold classifies candidates whose marginal probability
-	// exceeds it as "True" (default 0.5).
+	// exceeds it as "True". The zero value is a sentinel meaning "use
+	// the default 0.5"; a literal threshold of 0 (classify anything
+	// with positive probability) is only reachable through
+	// ThresholdOverride.
 	Threshold float64
+	// ThresholdOverride, when non-nil, sets the threshold exactly —
+	// including 0 — and takes precedence over Threshold.
+	ThresholdOverride *float64
 	// DisabledModalities switches feature modalities off (Figure 7).
 	DisabledModalities []features.Modality
 	// LFs overrides the task's labeling functions when non-nil
@@ -71,10 +82,15 @@ type Options struct {
 	NoThrottlers bool
 	// NoFeatureCache disables the Appendix C.1 mention cache.
 	NoFeatureCache bool
-	// Epochs/LR/L2 control training (defaults 8 / 0.02 / 1e-4).
+	// Epochs/LR/L2 control training (defaults 8 / 0.02 / 1e-4). L2's
+	// zero value is a sentinel for the default weight decay; turning
+	// weight decay off entirely requires L2Override.
 	Epochs int
 	LR     float64
 	L2     float64
+	// L2Override, when non-nil, sets the weight-decay coefficient
+	// exactly — including 0 (off) — and takes precedence over L2.
+	L2Override *float64
 	// MinFeatureCount drops features occurring in fewer training
 	// candidates (default 2). Identity features — a part number seen
 	// in one document — carry no cross-document signal and would let
@@ -93,7 +109,9 @@ type Options struct {
 }
 
 func (o *Options) defaults() {
-	if o.Threshold == 0 {
+	if o.ThresholdOverride != nil {
+		o.Threshold = *o.ThresholdOverride
+	} else if o.Threshold == 0 {
 		o.Threshold = 0.5
 	}
 	if o.Epochs <= 0 {
@@ -102,13 +120,18 @@ func (o *Options) defaults() {
 	if o.LR <= 0 {
 		o.LR = 0.02
 	}
-	if o.L2 == 0 {
+	if o.L2Override != nil {
+		o.L2 = *o.L2Override
+	} else if o.L2 == 0 {
 		o.L2 = 1e-4
 	}
 	if o.MinFeatureCount == 0 {
 		o.MinFeatureCount = 2
 	}
 }
+
+// Float64 returns a pointer to v, for the Options *Override fields.
+func Float64(v float64) *float64 { return &v }
 
 // Result summarizes one pipeline run.
 type Result struct {
@@ -147,127 +170,29 @@ func Run(task Task, train, test []*datamodel.Document, gold []GoldTuple, opts Op
 
 // RunWithCandidates is Run with pre-extracted candidates (used by the
 // throttling sweep, which filters candidates itself). Candidate IDs of
-// each split must be dense starting at zero.
+// each split must be dense starting at zero, in list order.
+//
+// The implementation is the staged pipeline of stages.go over
+// transient in-memory relations: one Featurize pass per split
+// producing the per-candidate Features relation, a frozen index from
+// the train split's feature counts, labeling-function application
+// into the Labels relation, then Train and Classify. Store.RunSplit
+// composes the same stages over relations persisted in kbase.
 func RunWithCandidates(task Task, trainCands, testCands []*candidates.Candidate, test []*datamodel.Document, gold []GoldTuple, opts Options) Result {
 	opts.defaults()
-	res := Result{TrainCandidates: len(trainCands), TestCandidates: len(testCands)}
+	newFx := extractorFactory(opts)
+	train := featurizeSplit(newFx, trainCands, opts.Workers)
+	testSp := featurizeSplit(newFx, testCands, opts.Workers)
 
-	// ---- Multimodal featurization (Phase 3a), staged over the worker
-	// pool: one extractor (and mention cache) per document shard.
-	disabled := opts.DisabledModalities
-	if opts.Variant == VariantSRV {
-		// SRV learns from HTML features alone: structural + textual.
-		disabled = append(append([]features.Modality{}, disabled...), features.Tabular, features.Visual)
-	}
-	newFx := func() *features.Extractor {
-		fx := features.NewExtractor()
-		fx.UseCache = !opts.NoFeatureCache
-		for _, m := range disabled {
-			fx.Disabled[m] = true
-		}
-		return fx
-	}
-	// First pass: count how many training candidates each feature
-	// fires on (sharded per document, counts merged by summation),
-	// then admit only features above the frequency floor
-	// (deterministically, in sorted name order).
-	counts, countStats := ParallelCountFeatures(newFx, trainCands, opts.Workers)
-	ix := features.IndexFromCounts(counts, opts.MinFeatureCount)
-	// Second pass: materialize the Features matrices against the
-	// frozen index, again sharded per document.
-	trainFeats, trainStats := ParallelFeaturize(newFx, ix, trainCands, opts.Workers)
-	testFeats, testStats := ParallelFeaturize(newFx, ix, testCands, opts.Workers)
-	res.NumFeatures = ix.Len()
-	res.CacheStats = features.CacheStats{
-		Hits:   countStats.Hits + trainStats.Hits + testStats.Hits,
-		Misses: countStats.Misses + trainStats.Misses + testStats.Misses,
-	}
-
-	// ---- Supervision (Phase 3b): apply LFs, denoise, marginals.
-	var marginals []float64
-	covered := func(int) bool { return true }
-	if opts.Marginals != nil {
-		marginals = opts.Marginals
-	} else {
+	// Supervision input: the train split's label matrix (skipped when
+	// explicit marginals bypass the stage).
+	var labels *labeling.Matrix
+	if opts.Marginals == nil {
 		lfs := task.LFs
 		if opts.LFs != nil {
 			lfs = opts.LFs
 		}
-		lm := labeling.ParallelApply(lfs, trainCands, opts.Workers).Compact()
-		res.LFMetrics = labeling.ComputeMetrics(lm)
-		if opts.MajorityVote {
-			marginals = labeling.MajorityVote(lm)
-		} else {
-			gen := labeling.Fit(lm, labeling.FitOptions{})
-			marginals = gen.Marginals(lm)
-		}
-		// Candidates no labeling function covers carry no supervision
-		// signal; training on their prior would only inject noise.
-		covered = func(id int) bool { return len(lm.RowLabels(id)) > 0 }
+		labels = labeling.ParallelApply(lfs, trainCands, opts.Workers).Compact()
 	}
-
-	// ---- Build examples from the covered candidates.
-	trainEx := make([]model.Example, 0, len(trainCands))
-	for _, c := range trainCands {
-		if !covered(c.ID) {
-			continue
-		}
-		trainEx = append(trainEx, model.Example{
-			Cand:        c,
-			SparseFeats: cols(trainFeats.Row(c.ID)),
-			Marginal:    marginals[c.ID],
-		})
-	}
-	testEx := make([]model.Example, len(testCands))
-	for i, c := range testCands {
-		testEx[i] = model.Example{Cand: c, SparseFeats: cols(testFeats.Row(c.ID))}
-	}
-
-	// ---- Train the selected variant.
-	arity := len(task.Args)
-	var m *model.Model
-	switch opts.Variant {
-	case VariantFonduer:
-		m = model.NewFonduer(arity, ix.Len(), opts.Seed, trainEx)
-	case VariantTextLSTM:
-		m = model.NewTextBiLSTM(arity, opts.Seed, trainEx)
-	case VariantHumanTuned:
-		m = model.NewHumanTuned(ix.Len(), opts.Seed)
-	case VariantSRV:
-		m = model.NewSRV(ix.Len(), opts.Seed)
-	case VariantDocRNN:
-		maxTokens := opts.MaxDocTokens
-		if maxTokens <= 0 {
-			maxTokens = 400
-		}
-		m = model.NewDocRNN(opts.Seed, trainEx, maxTokens)
-	case VariantMaxPool:
-		m = model.NewMaxPoolText(arity, opts.Seed, trainEx)
-	default:
-		panic("core: unknown variant")
-	}
-	res.TrainStats = m.Train(trainEx, model.TrainOptions{Epochs: opts.Epochs, LR: opts.LR, L2: opts.L2})
-
-	// ---- Classification: threshold the marginals, dedup tuples.
-	seen := map[string]bool{}
-	for _, ex := range testEx {
-		if !m.Classify(ex, opts.Threshold) {
-			continue
-		}
-		t := TupleFromCandidate(ex.Cand)
-		if !seen[t.Key()] {
-			seen[t.Key()] = true
-			res.Predicted = append(res.Predicted, t)
-		}
-	}
-	res.Quality = EvaluateTuples(res.Predicted, FilterGold(gold, DocNames(test)))
-	return res
-}
-
-func cols(row []sparse.Entry) []int {
-	out := make([]int, len(row))
-	for i, e := range row {
-		out[i] = e.Col
-	}
-	return out
+	return runStages(task, opts, train, testSp, labels, DocNames(test), gold)
 }

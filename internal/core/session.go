@@ -1,93 +1,100 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
 	"repro/internal/labeling"
-	"repro/internal/sparse"
 )
 
 // DevSession implements Fonduer's development mode (Section 3.3):
 // users iteratively improve labeling functions through error analysis
-// without rerunning candidate extraction or featurization. Candidates
-// are extracted once; the label matrix lives in the update-optimized
-// COO representation (Appendix C.2) and is updated incrementally as
-// LFs are added, edited or removed; after each iteration the session
-// reports the LF metrics (coverage, overlap, conflict) and denoised
-// marginals the user inspects before the next iteration.
+// without rerunning candidate extraction or featurization.
 //
-// Production mode is a single Run call with the finalized LFs.
+// DevSession is a thin view over the same Store that backs production
+// runs, so development and production share one state representation:
+// documents are ingested once (extracted, featurized, and persisted
+// as store relations), labeling-function edits re-materialize only
+// the affected Labels column, and after each iteration the session
+// reports the LF metrics (coverage, overlap, conflict) and denoised
+// marginals the user inspects before the next iteration. A finalized
+// session's store can run production mode directly via
+// Store.RunSplit, or its LFs can feed a fresh Run call.
 type DevSession struct {
-	task  Task
-	cands []*candidates.Candidate
-	lfs   []labeling.LF
-	// labels is COO-backed: each LF edit appends, never rewrites.
-	labels *labeling.Matrix
+	store *Store
 	// sample maps session candidate order to gold labels when the user
 	// supplies a labeled holdout for accuracy estimates.
 	holdout map[int]bool
 	// Workers sizes the pool used to apply an added or edited LF
 	// across the session's candidates (<=0 means GOMAXPROCS). The
-	// label log is identical at any worker count.
+	// label state is identical at any worker count.
 	Workers int
 }
 
-// NewDevSession extracts candidates from the development documents
-// once (in parallel across all cores) and prepares an empty labeling
-// state. Use NewDevSessionWorkers to bound the session's parallelism.
+// NewDevSession ingests the development documents once (in parallel
+// across all cores) and prepares an empty labeling state. Ingestion
+// runs the full store pipeline — extraction *and* featurization, with
+// every relation materialized — so the finalized session flows into
+// production (Store.RunSplit, or Snapshot/OpenStore) with nothing
+// recomputed; that is a deliberate trade of constructor latency for
+// the shared dev/production state representation. Document names must
+// be unique — the store keys its relations by name — and a conflict
+// panics (the constructor predates error returns). Use
+// NewDevSessionWorkers to bound the session's parallelism.
 func NewDevSession(task Task, docs []*datamodel.Document) *DevSession {
 	return NewDevSessionWorkers(task, docs, 0)
 }
 
 // NewDevSessionWorkers is NewDevSession with an explicit worker-pool
-// size governing both the initial extraction and subsequent LF
+// size governing both the initial ingestion and subsequent LF
 // application (<=0 means GOMAXPROCS, 1 means sequential).
 func NewDevSessionWorkers(task Task, docs []*datamodel.Document, workers int) *DevSession {
-	cands := ParallelExtract(task, docs, DocumentScopeDefault(), true, workers)
-	return &DevSession{
-		task:    task,
-		cands:   cands,
-		labels:  labeling.NewMatrix(sparse.NewCOO(), len(cands), 0),
-		Workers: workers,
+	// A dev session starts with no labeling functions installed even
+	// when the task carries some: the session's whole point is to
+	// build them up interactively. The explicit empty (non-nil) LFs
+	// override expresses that to the store.
+	st := NewStore(task, Options{Workers: workers, LFs: []labeling.LF{}})
+	if err := st.AddDocuments(docs...); err != nil {
+		panic("core: " + err.Error())
 	}
+	return &DevSession{store: st, Workers: workers}
 }
+
+// SessionFromStore wraps an existing store (e.g. one resumed with
+// OpenStore) in the development-mode view.
+func SessionFromStore(st *Store) *DevSession {
+	return &DevSession{store: st, Workers: st.opts.Workers}
+}
+
+// Store exposes the session's backing store.
+func (s *DevSession) Store() *Store { return s.store }
 
 // DocumentScopeDefault returns the pipeline's default scope; exposed
 // so DevSession and Run agree.
 func DocumentScopeDefault() candidates.Scope { return candidates.DocumentScope }
 
 // Candidates returns the session's extracted candidates.
-func (s *DevSession) Candidates() []*candidates.Candidate { return s.cands }
+func (s *DevSession) Candidates() []*candidates.Candidate { return s.store.Candidates() }
 
 // NumLFs returns the number of labeling functions currently installed.
-func (s *DevSession) NumLFs() int { return len(s.lfs) }
+func (s *DevSession) NumLFs() int { return s.store.NumLFs() }
 
 // AddLF installs a labeling function and applies it to every candidate
-// (one COO append per candidate — the fast-update path). It returns
-// the LF's column index.
+// (one new Labels column — the fast-update path). It returns the LF's
+// column index.
 func (s *DevSession) AddLF(lf labeling.LF) int {
-	col := len(s.lfs)
-	s.lfs = append(s.lfs, lf)
-	s.labels.NumLFs = len(s.lfs)
-	labeling.ParallelApplyColumn(s.labels, s.cands, col, lf, s.Workers)
-	return col
+	s.store.setWorkers(s.Workers)
+	return s.store.AddLF(lf)
 }
 
-// EditLF replaces the labeling function at col and re-applies it; the
-// COO log absorbs the overwrite without rewriting other columns.
+// EditLF replaces the labeling function at col and re-applies it; only
+// that column of the Labels relation is re-materialized.
 func (s *DevSession) EditLF(col int, lf labeling.LF) error {
-	if col < 0 || col >= len(s.lfs) {
-		return fmt.Errorf("core: no labeling function at column %d", col)
-	}
-	s.lfs[col] = lf
-	labeling.ParallelApplyColumn(s.labels, s.cands, col, lf, s.Workers)
-	return nil
+	s.store.setWorkers(s.Workers)
+	return s.store.EditLF(col, lf)
 }
 
 // RemoveLF abstains the labeling function at col everywhere (columns
-// are never renumbered mid-session, matching the append-only log).
+// are never renumbered mid-session).
 func (s *DevSession) RemoveLF(col int) error {
 	abstain := labeling.LF{Name: "removed", Fn: func(*candidates.Candidate) int { return 0 }}
 	return s.EditLF(col, abstain)
@@ -95,14 +102,15 @@ func (s *DevSession) RemoveLF(col int) error {
 
 // Metrics computes the current LF development metrics.
 func (s *DevSession) Metrics() labeling.Metrics {
-	return labeling.ComputeMetrics(s.labels)
+	return labeling.ComputeMetrics(s.store.LabelMatrix())
 }
 
 // Marginals fits the generative model to the current label matrix and
 // returns the denoised per-candidate probabilities.
 func (s *DevSession) Marginals() []float64 {
-	gen := labeling.Fit(s.labels, labeling.FitOptions{})
-	return gen.Marginals(s.labels)
+	m := s.store.LabelMatrix()
+	gen := labeling.Fit(m, labeling.FitOptions{})
+	return gen.Marginals(m)
 }
 
 // SetHoldout registers gold labels for a subset of candidates (by
@@ -130,10 +138,11 @@ func (s *DevSession) EstimateAccuracy() float64 {
 // wrong — the error-analysis view driving the next LF iteration.
 func (s *DevSession) Errors() []*candidates.Candidate {
 	marg := s.Marginals()
+	cands := s.store.Candidates()
 	var out []*candidates.Candidate
 	for id, truth := range s.holdout {
 		if id >= 0 && id < len(marg) && (marg[id] > 0.5) != truth {
-			out = append(out, s.cands[id])
+			out = append(out, cands[id])
 		}
 	}
 	candidates.SortByKey(out)
@@ -143,7 +152,5 @@ func (s *DevSession) Errors() []*candidates.Candidate {
 // Finalize returns the session's labeling functions for the production
 // run (Run with Options.LFs set, or a Task carrying them).
 func (s *DevSession) Finalize() []labeling.LF {
-	out := make([]labeling.LF, len(s.lfs))
-	copy(out, s.lfs)
-	return out
+	return s.store.LFs()
 }

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/candidates"
+	"repro/internal/datamodel"
+	"repro/internal/features"
+	"repro/internal/kbase"
+	"repro/internal/labeling"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// Store is the persistent, incrementally maintained state of one
+// extraction session — the role PostgreSQL plays in the paper's
+// implementation. It materializes the pipeline's intermediate
+// relations (per-document Candidates, the index-independent Features
+// relation of per-candidate feature names, sharded per-document
+// FeatureCounts, and the Labels votes) both in memory and as kbase
+// tables, so that:
+//
+//   - documents can be ingested incrementally: AddDocuments extracts,
+//     featurizes and labels only the new documents, merges their
+//     feature-count shards, and re-materializes only the matrix rows
+//     the resulting index change touches;
+//   - labeling functions can be iterated without re-running extraction
+//     or featurization (the DevSession loop is a thin wrapper);
+//   - the whole session can be snapshotted to disk and resumed later
+//     (Snapshot / OpenStore), skipping parsing and extraction
+//     entirely.
+//
+// The central invariant, checked by the equivalence tests, is
+// confluence modulo the Result: ingesting a corpus in any batch
+// order, at any worker count, then running a split through RunSplit
+// yields a Result bit-identical to a single from-scratch Run over the
+// union corpus.
+//
+// A Store is bound at creation to the options that shape its
+// featurization and supervision (variant, disabled modalities, cache
+// switch, scope, throttlers, minimum feature count, labeling
+// functions). Runs that vary those knobs need their own store —
+// exactly as the paper's ablations re-populate their database.
+//
+// Store methods are not safe for concurrent use; internally each
+// stage fans out over the PR-1 worker pool (Options.Workers).
+type Store struct {
+	task Task
+	opts Options
+	lfs  []labeling.LF
+
+	docs   []*storeDoc
+	byName map[string]*storeDoc
+
+	// Global candidate-indexed relations; candidate IDs are assigned
+	// densely in ingestion order, so index i is candidate ID i.
+	cands []*candidates.Candidate
+	names [][]string // Features relation: distinct names, first-occurrence order
+	votes [][]int8   // Labels relation: one clamped vote per LF
+
+	// counts is the merged FeatureCounts relation (sum of the per-doc
+	// shards). Counts only ever grow, so index evolution under
+	// incremental ingestion is append-only.
+	counts map[string]int
+
+	// dict assigns stable session columns to admitted features in
+	// admission order; matrix is the materialized numeric Features
+	// matrix (global candidate ID × session column); pending maps each
+	// below-floor feature to the candidates carrying it — the exact
+	// row set to re-materialize when the feature crosses the floor.
+	dict    *features.Index
+	matrix  *sparse.LIL
+	pending map[string][]int
+
+	db *kbase.DB
+}
+
+// storeDoc is one ingested document's shard of the store relations.
+type storeDoc struct {
+	doc    *datamodel.Document
+	pos    int
+	cands  []*candidates.Candidate
+	counts map[string]int // per-doc FeatureCounts shard
+	stats  features.CacheStats
+}
+
+// NewStore creates an empty session store for a task. opts fixes the
+// session's featurization and supervision configuration (see the type
+// comment); opts.LFs, when non-nil, overrides task.LFs as the
+// session's labeling functions (an empty non-nil slice starts the
+// session with none, the DevSession entry state).
+func NewStore(task Task, opts Options) *Store {
+	opts.defaults()
+	s := &Store{
+		task:    task,
+		opts:    opts,
+		byName:  map[string]*storeDoc{},
+		counts:  map[string]int{},
+		dict:    features.NewIndex(),
+		matrix:  sparse.NewLIL(),
+		pending: map[string][]int{},
+	}
+	s.lfs = append(s.lfs, task.LFs...)
+	if opts.LFs != nil {
+		s.lfs = append(s.lfs[:0], opts.LFs...)
+	}
+	s.db = s.newStoreDB()
+	s.writeMeta()
+	return s
+}
+
+// Task returns the store's task.
+func (s *Store) Task() Task { return s.task }
+
+// Candidates returns the ingested candidates in global ID order.
+func (s *Store) Candidates() []*candidates.Candidate { return s.cands }
+
+// DocNames returns the ingested document names in ingestion order.
+func (s *Store) DocNames() []string {
+	out := make([]string, len(s.docs))
+	for i, sd := range s.docs {
+		out[i] = sd.doc.Name
+	}
+	return out
+}
+
+// NumLFs returns the number of installed labeling functions.
+func (s *Store) NumLFs() int { return len(s.lfs) }
+
+// LFs returns a copy of the installed labeling functions.
+func (s *Store) LFs() []labeling.LF {
+	out := make([]labeling.LF, len(s.lfs))
+	copy(out, s.lfs)
+	return out
+}
+
+// FeatureIndex returns the session feature index: every feature at or
+// above the MinFeatureCount floor over the whole ingested corpus, in
+// admission order. The columns are stable across AddDocuments calls
+// (admission is append-only), which is what keeps incremental row
+// re-materialization local to the rows an index change touches.
+func (s *Store) FeatureIndex() *features.Index { return s.dict }
+
+// DB exposes the store's materialized kbase relations (read-only use;
+// mutating them bypasses the in-memory state).
+func (s *Store) DB() *kbase.DB { return s.db }
+
+// LabelMatrix materializes the Labels relation as a LIL matrix over
+// all ingested candidates — the development-mode view DevSession
+// inspects between labeling-function iterations.
+func (s *Store) LabelMatrix() *labeling.Matrix {
+	return labeling.MatrixFromVotes(s.votes, len(s.lfs))
+}
+
+// setWorkers rebinds the worker-pool size for subsequent store
+// operations (DevSession exposes this through its Workers field).
+func (s *Store) setWorkers(n int) { s.opts.Workers = n }
+
+// AddDocuments ingests documents incrementally: the Extract,
+// Featurize and Supervise stages run for the new documents only, the
+// new per-document FeatureCounts shards are merged into the session
+// counts, the frozen session index is rebuilt from the merged counts
+// (append-only: counts never shrink, so features only ever cross the
+// admission floor upward), and exactly the matrix rows affected by
+// the index change — the pending rows of newly admitted features,
+// plus the new candidates' own rows — are (re-)materialized.
+//
+// Ingesting the same *Document pointer again is a no-op; a different
+// document with an already-ingested name is an error. The resulting
+// store state is observably equivalent regardless of how a corpus is
+// batched across AddDocuments calls.
+func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
+	var delta []*datamodel.Document
+	seen := map[string]*datamodel.Document{}
+	for _, d := range docs {
+		if prev, ok := s.byName[d.Name]; ok {
+			if prev.doc == d {
+				continue
+			}
+			return fmt.Errorf("core: document %q already ingested with different contents", d.Name)
+		}
+		if prev, ok := seen[d.Name]; ok {
+			if prev == d {
+				continue
+			}
+			return fmt.Errorf("core: duplicate document name %q in one batch", d.Name)
+		}
+		seen[d.Name] = d
+		delta = append(delta, d)
+	}
+	if len(delta) == 0 {
+		return nil
+	}
+	workers := s.opts.Workers
+
+	// ---- Extract stage (delta only).
+	perDoc := make([][]*candidates.Candidate, len(delta))
+	pool.Run(len(delta), workers, func(i int) {
+		ext := &candidates.Extractor{Args: s.task.Args, Scope: s.opts.Scope}
+		if !s.opts.NoThrottlers {
+			ext.Throttlers = s.task.Throttlers
+		}
+		perDoc[i] = ext.Extract(delta[i])
+	})
+
+	// ---- Featurize stage (delta only): per-document feature names,
+	// count shards and cache statistics, one extractor per document.
+	newFx := extractorFactory(s.opts)
+	namesPerDoc := make([][][]string, len(delta))
+	countsPerDoc := make([]map[string]int, len(delta))
+	statsPerDoc := make([]features.CacheStats, len(delta))
+	pool.Run(len(delta), workers, func(i int) {
+		fx := newFx()
+		names := make([][]string, len(perDoc[i]))
+		counts := map[string]int{}
+		for k, c := range perDoc[i] {
+			names[k] = distinctFeatures(fx, c)
+			for _, n := range names[k] {
+				counts[n]++
+			}
+		}
+		namesPerDoc[i] = names
+		countsPerDoc[i] = counts
+		statsPerDoc[i] = fx.Stats()
+	})
+
+	// Assign global candidate IDs (dense, ingestion order) before the
+	// Supervise stage so the delta is one flat candidate list.
+	firstNew := len(s.cands)
+	var deltaCands []*candidates.Candidate
+	for _, cs := range perDoc {
+		for _, c := range cs {
+			c.ID = firstNew + len(deltaCands)
+			deltaCands = append(deltaCands, c)
+		}
+	}
+
+	// ---- Supervise stage (delta only).
+	votes := labeling.ParallelVotes(s.lfs, deltaCands, workers)
+
+	// ---- Merge: append per-document state and sum the count shards.
+	newDocs := make([]*storeDoc, 0, len(delta))
+	vi := 0
+	for i, d := range delta {
+		sd := &storeDoc{doc: d, pos: len(s.docs), cands: perDoc[i], counts: countsPerDoc[i], stats: statsPerDoc[i]}
+		s.docs = append(s.docs, sd)
+		s.byName[d.Name] = sd
+		newDocs = append(newDocs, sd)
+		for k := range perDoc[i] {
+			s.cands = append(s.cands, perDoc[i][k])
+			s.names = append(s.names, namesPerDoc[i][k])
+			s.votes = append(s.votes, votes[vi])
+			vi++
+		}
+		for n, c := range countsPerDoc[i] {
+			s.counts[n] += c
+		}
+	}
+
+	// ---- Index rebuild + delta re-materialization: admit features
+	// that crossed the floor (sorted order within the batch keeps
+	// admission deterministic), back-filling exactly the pending rows
+	// that carry them, then materialize the new candidates' rows.
+	touched := map[string]bool{}
+	for i := range delta {
+		for n := range countsPerDoc[i] {
+			touched[n] = true
+		}
+	}
+	var admitted []string
+	for n := range touched {
+		if s.counts[n] >= s.opts.MinFeatureCount {
+			if _, ok := s.dict.Lookup(n); !ok {
+				admitted = append(admitted, n)
+			}
+		}
+	}
+	sort.Strings(admitted)
+	for _, n := range admitted {
+		col := s.dict.ID(n)
+		for _, gid := range s.pending[n] {
+			s.matrix.Set(gid, col, 1)
+		}
+		delete(s.pending, n)
+	}
+	for gid := firstNew; gid < len(s.cands); gid++ {
+		for _, n := range s.names[gid] {
+			if col, ok := s.dict.Lookup(n); ok {
+				s.matrix.Set(gid, col, 1)
+			} else {
+				s.pending[n] = append(s.pending[n], gid)
+			}
+		}
+	}
+
+	// ---- Persist the delta into the kbase relations.
+	for _, sd := range newDocs {
+		if err := s.mirrorDoc(sd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddLF installs a labeling function and applies it to every ingested
+// candidate — the Supervise stage re-run for one new Labels column.
+// It returns the LF's column index.
+func (s *Store) AddLF(lf labeling.LF) int {
+	col := len(s.lfs)
+	s.lfs = append(s.lfs, lf)
+	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
+	for i := range s.votes {
+		s.votes[i] = append(s.votes[i], votes[i])
+	}
+	s.mirrorColumn(col, votes)
+	s.writeMeta()
+	return col
+}
+
+// EditLF replaces the labeling function at col and re-applies it to
+// every candidate. In the kbase Labels relation the column's rows are
+// deleted and re-materialized — the row-deletion path an append-only
+// log cannot express.
+func (s *Store) EditLF(col int, lf labeling.LF) error {
+	if col < 0 || col >= len(s.lfs) {
+		return fmt.Errorf("core: no labeling function at column %d", col)
+	}
+	s.lfs[col] = lf
+	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
+	for i := range s.votes {
+		s.votes[i][col] = votes[i]
+	}
+	if tbl := s.db.Table(tblLabels); tbl != nil {
+		tbl.DeleteWhere(func(tp kbase.Tuple) bool { return tp[1].(int64) == int64(col) })
+	}
+	s.mirrorColumn(col, votes)
+	s.writeMeta() // the LF name list may have changed
+	return nil
+}
+
+// splitView assembles one split's staged relations by reading the
+// store: candidates in name-list document order, each row of the
+// materialized Features matrix translated back to feature names, and
+// the split's summed cache statistics.
+func (s *Store) splitView(names []string) (stagedSplit, error) {
+	var sp stagedSplit
+	for _, name := range names {
+		sd, ok := s.byName[name]
+		if !ok {
+			return sp, fmt.Errorf("core: document %q is not in the store", name)
+		}
+		for _, c := range sd.cands {
+			row := s.matrix.Row(c.ID)
+			nm := make([]string, len(row))
+			for k, e := range row {
+				nm[k] = s.dict.Name(e.Col)
+			}
+			sp.cands = append(sp.cands, c)
+			sp.names = append(sp.names, nm)
+		}
+		sp.stats.Hits += sd.stats.Hits
+		sp.stats.Misses += sd.stats.Misses
+	}
+	return sp, nil
+}
+
+// RunSplit runs the Train/Classify half of the pipeline over a
+// train/test split of the ingested corpus, reading every input from
+// the store's materialized relations — no parsing, extraction,
+// featurization or labeling-function application happens here. The
+// Result is bit-identical to Run(task, train, test, gold, opts) over
+// the same documents in the same split order, regardless of how (or
+// in how many batches) the corpus was ingested.
+//
+// Splits may overlap (production mode often classifies the full
+// corpus, including the training documents). The session feature
+// matrix admits features by whole-corpus counts; RunSplit re-derives
+// the run's frozen index from the train split's counts, exactly as a
+// from-scratch run would.
+func (s *Store) RunSplit(trainNames, testNames []string, gold []GoldTuple) (Result, error) {
+	train, err := s.splitView(trainNames)
+	if err != nil {
+		return Result{}, err
+	}
+	test, err := s.splitView(testNames)
+	if err != nil {
+		return Result{}, err
+	}
+	var labels *labeling.Matrix
+	if s.opts.Marginals == nil {
+		rows := make([][]int8, len(train.cands))
+		for i, c := range train.cands {
+			rows[i] = s.votes[c.ID]
+		}
+		labels = labeling.MatrixFromVotes(rows, len(s.lfs))
+	}
+	testDocs := map[string]bool{}
+	for _, n := range testNames {
+		testDocs[n] = true
+	}
+	return runStages(s.task, s.opts, train, test, labels, testDocs, gold), nil
+}

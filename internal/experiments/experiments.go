@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/candidates"
 	"repro/internal/core"
+	"repro/internal/datamodel"
 	"repro/internal/pool"
 	"repro/internal/synth"
 )
@@ -99,6 +101,48 @@ func runTask(c *synth.Corpus, taskIdx int, cfg Config, opts core.Options) core.R
 		opts.Workers = innerWorkers()
 	}
 	return core.Run(task, train, test, c.GoldTuples[task.Relation], opts)
+}
+
+// extracted is one task's pre-extracted Candidates relation, shared
+// read-only across the model variants of a comparison grid — the
+// experiments-runner analogue of a store session: Phase 2 runs once
+// per task, and only the variant-dependent stages re-run.
+type extracted struct {
+	task                  core.Task
+	testDocs              []*datamodel.Document
+	trainCands, testCands []*candidates.Candidate
+	gold                  []core.GoldTuple
+}
+
+// extractTask extracts one task's train/test candidates with the
+// pipeline's default scope and throttling (the configuration every
+// variant grid uses).
+func extractTask(c *synth.Corpus, taskIdx int) extracted {
+	task := c.Tasks[taskIdx]
+	train, test := c.Split()
+	return extracted{
+		task:       task,
+		testDocs:   test,
+		trainCands: core.ParallelExtract(task, train, candidates.DocumentScope, true, innerWorkers()),
+		testCands:  core.ParallelExtract(task, test, candidates.DocumentScope, true, innerWorkers()),
+		gold:       c.GoldTuples[task.Relation],
+	}
+}
+
+// run executes the variant-dependent pipeline stages over the shared
+// candidates; results are identical to a full runTask with the same
+// options.
+func (e extracted) run(cfg Config, opts core.Options) core.Result {
+	if opts.Epochs == 0 {
+		opts.Epochs = cfg.Epochs
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	if opts.Workers == 0 {
+		opts.Workers = innerWorkers()
+	}
+	return core.RunWithCandidates(e.task, e.trainCands, e.testCands, e.testDocs, e.gold, opts)
 }
 
 // meanPRF averages precision and recall (recomputing F1) — how the

@@ -226,8 +226,12 @@ type Table4Result struct {
 func Table4(cfg Config) Table4Result {
 	domains := Domains(cfg)
 	variants := []core.Variant{core.VariantHumanTuned, core.VariantTextLSTM, core.VariantFonduer}
+	// Extract each domain's candidates once; the variant grid reuses
+	// them (extraction is variant-independent).
+	ex := make([]extracted, len(domains))
+	pool.Run(len(domains), cfg.Workers, func(di int) { ex[di] = extractTask(domains[di].Corpus, 0) })
 	quality := runGrid(len(domains), len(variants), cfg.Workers, func(di, vi int) core.PRF {
-		return runTask(domains[di].Corpus, 0, cfg, core.Options{Variant: variants[vi]}).Quality
+		return ex[di].run(cfg, core.Options{Variant: variants[vi]}).Quality
 	})
 	var out Table4Result
 	for di, d := range domains {
@@ -262,10 +266,11 @@ type Table5Result struct {
 // Table5 runs the SRV comparison; the two feature models fan out.
 func Table5(cfg Config) Table5Result {
 	ads := synth.Ads(cfg.Seed+1, cfg.AdsDocs)
+	ex := extractTask(ads, 0)
 	variants := []core.Variant{core.VariantSRV, core.VariantFonduer}
 	quality := make([]core.PRF, len(variants))
 	pool.Run(len(variants), cfg.Workers, func(i int) {
-		quality[i] = runTask(ads, 0, cfg, core.Options{Variant: variants[i]}).Quality
+		quality[i] = ex.run(cfg, core.Options{Variant: variants[i]}).Quality
 	})
 	return Table5Result{SRV: quality[0], Fonduer: quality[1]}
 }
@@ -290,8 +295,9 @@ type Table6Result struct {
 // Table6 runs the learning-model comparison.
 func Table6(cfg Config) Table6Result {
 	elec := synth.Electronics(cfg.Seed, cfg.ElecDocs)
-	doc := runTask(elec, 0, cfg, core.Options{Variant: core.VariantDocRNN})
-	fon := runTask(elec, 0, cfg, core.Options{Variant: core.VariantFonduer})
+	ex := extractTask(elec, 0)
+	doc := ex.run(cfg, core.Options{Variant: core.VariantDocRNN})
+	fon := ex.run(cfg, core.Options{Variant: core.VariantFonduer})
 	return Table6Result{
 		DocRNNSecsPerEpoch:  doc.TrainStats.SecsPerEpoch,
 		DocRNNF1:            doc.Quality.F1,

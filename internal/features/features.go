@@ -393,12 +393,50 @@ func (ix *Index) ID(name string) int {
 	return id
 }
 
+// Lookup returns the column for a feature name without ever
+// allocating a new id — the read-only probe used by the store-backed
+// pipeline when materializing candidate rows against the session
+// index.
+func (ix *Index) Lookup(name string) (int, bool) {
+	id, ok := ix.ids[name]
+	return id, ok
+}
+
 // Name returns the feature name for a column id.
 func (ix *Index) Name(id int) string {
 	if id < 0 || id >= len(ix.names) {
 		return ""
 	}
 	return ix.names[id]
+}
+
+// Names returns a copy of the feature names in column order.
+func (ix *Index) Names() []string {
+	out := make([]string, len(ix.names))
+	copy(out, ix.names)
+	return out
+}
+
+// IndexDiff compares two indexes as feature-name sets, returning the
+// names present only in next (added) and only in prev (removed), each
+// in sorted order. The store's equivalence tests use it to verify the
+// append-only admission invariant of incremental ingestion: counts
+// only ever grow, so an incrementally grown index and a from-scratch
+// index over the same corpus must diff empty both ways.
+func IndexDiff(prev, next *Index) (added, removed []string) {
+	for name := range next.ids {
+		if _, ok := prev.ids[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	for name := range prev.ids {
+		if _, ok := next.ids[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
 }
 
 // Len returns the number of distinct features seen.

@@ -1,0 +1,54 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIndexLookupAndNames(t *testing.T) {
+	ix := NewIndex()
+	ix.ID("b")
+	ix.ID("a")
+	if id, ok := ix.Lookup("b"); !ok || id != 0 {
+		t.Fatalf("Lookup(b) = %d,%v", id, ok)
+	}
+	if _, ok := ix.Lookup("zzz"); ok {
+		t.Fatal("Lookup must not allocate")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Lookup allocated: len = %d", ix.Len())
+	}
+	names := ix.Names()
+	if !reflect.DeepEqual(names, []string{"b", "a"}) {
+		t.Fatalf("Names = %v", names)
+	}
+	names[0] = "mutated"
+	if ix.Name(0) != "b" {
+		t.Fatal("Names must copy")
+	}
+}
+
+func TestIndexDiff(t *testing.T) {
+	prev := IndexFromCounts(map[string]int{"a": 2, "b": 3}, 2)
+	next := IndexFromCounts(map[string]int{"a": 2, "b": 3, "c": 2, "d": 9}, 2)
+	added, removed := IndexDiff(prev, next)
+	if !reflect.DeepEqual(added, []string{"c", "d"}) || removed != nil {
+		t.Fatalf("diff = added %v removed %v", added, removed)
+	}
+	// Symmetric direction reports removals.
+	added, removed = IndexDiff(next, prev)
+	if added != nil || !reflect.DeepEqual(removed, []string{"c", "d"}) {
+		t.Fatalf("reverse diff = added %v removed %v", added, removed)
+	}
+	// Identical name sets (even with different column orders) diff empty.
+	other := NewIndex()
+	other.ID("b")
+	other.ID("a")
+	same := NewIndex()
+	same.ID("a")
+	same.ID("b")
+	added, removed = IndexDiff(other, same)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("permuted diff = added %v removed %v", added, removed)
+	}
+}

@@ -212,6 +212,60 @@ func (t *Table) Contains(tp Tuple) bool {
 	return ok
 }
 
+// Delete removes the exact tuple (after int normalization), reporting
+// whether it was present. Deletion re-packs the tuple slice, so it is
+// O(n). Bulk re-materialization (e.g. a labeling-function edit
+// rewriting a Labels column) goes through DeleteWhere, which re-packs
+// once for any number of rows.
+func (t *Table) Delete(tp Tuple) bool {
+	if len(tp) != t.schema.Arity() {
+		return false
+	}
+	norm := make(Tuple, len(tp))
+	for i, v := range tp {
+		if iv, ok := v.(int); ok {
+			v = int64(iv)
+		}
+		norm[i] = v
+	}
+	k := t.key(norm)
+	pos, ok := t.index[k]
+	if !ok {
+		return false
+	}
+	t.tuples = append(t.tuples[:pos], t.tuples[pos+1:]...)
+	delete(t.index, k)
+	for kk, p := range t.index {
+		if p > pos {
+			t.index[kk] = p - 1
+		}
+	}
+	return true
+}
+
+// DeleteWhere removes every tuple satisfying pred, returning how many
+// were deleted. Surviving tuples keep their relative insertion order.
+func (t *Table) DeleteWhere(pred func(Tuple) bool) int {
+	kept := t.tuples[:0]
+	deleted := 0
+	for _, tp := range t.tuples {
+		if pred(tp) {
+			deleted++
+			continue
+		}
+		kept = append(kept, tp)
+	}
+	if deleted == 0 {
+		return 0
+	}
+	t.tuples = kept
+	t.index = make(map[string]int, len(kept))
+	for i, tp := range kept {
+		t.index[t.key(tp)] = i
+	}
+	return deleted
+}
+
 // Scan calls fn for every tuple in insertion order; fn returning false
 // stops the scan.
 func (t *Table) Scan(fn func(Tuple) bool) {
@@ -257,6 +311,18 @@ func (db *DB) Create(schema Schema) (*Table, error) {
 	t := NewTable(schema)
 	db.tables[schema.Name] = t
 	return t, nil
+}
+
+// Attach adds an existing table (e.g. one parsed by ReadTSV) to the
+// database under its schema name. Attaching over an existing table is
+// an error, mirroring Create.
+func (db *DB) Attach(t *Table) error {
+	name := t.Schema().Name
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("kbase: table %s already exists", name)
+	}
+	db.tables[name] = t
+	return nil
 }
 
 // Table returns the named table, or nil.

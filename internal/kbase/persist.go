@@ -4,26 +4,112 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
 
+// TSV field escaping: tabs and newlines are the format's structural
+// characters, so string values containing them must be encoded or a
+// row shears apart on read. The scheme is the usual minimal one —
+// backslash-escape the backslash itself plus the three characters TSV
+// cannot carry raw:
+//
+//	\  -> \\    tab -> \t    newline -> \n    carriage return -> \r
+//
+// Every tab-separated field (header and data alike) goes through the
+// same escape/unescape pair, so any Go string round-trips.
+const tsvEscapes = "\\\t\n\r"
+
+// escapeTSV encodes one field for embedding in a TSV line.
+func escapeTSV(s string) string {
+	if !strings.ContainsAny(s, tsvEscapes) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// unescapeTSV decodes a field written by escapeTSV.
+func unescapeTSV(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("kbase: dangling backslash in TSV field %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case 't':
+			sb.WriteByte('\t')
+		case 'n':
+			sb.WriteByte('\n')
+		case 'r':
+			sb.WriteByte('\r')
+		default:
+			return "", fmt.Errorf("kbase: unknown escape \\%c in TSV field %q", s[i], s)
+		}
+	}
+	return sb.String(), nil
+}
+
+// splitTSV splits a line into unescaped fields.
+func splitTSV(line string) ([]string, error) {
+	raw := strings.Split(line, "\t")
+	out := make([]string, len(raw))
+	for i, f := range raw {
+		v, err := unescapeTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // WriteTSV serializes the table as tab-separated values with a header
 // line of "name:type" column specs, so a table round-trips through
-// ReadTSV with its schema intact.
+// ReadTSV with its schema intact. String values are escaped, so tabs
+// and newlines inside values survive the round trip.
 func (t *Table) WriteTSV(w io.Writer) error {
 	specs := make([]string, len(t.schema.Columns))
 	for i, c := range t.schema.Columns {
-		specs[i] = c.Name + ":" + c.Type.String()
+		specs[i] = escapeTSV(c.Name) + ":" + c.Type.String()
 	}
-	if _, err := fmt.Fprintf(w, "#%s\t%s\n", t.schema.Name, strings.Join(specs, "\t")); err != nil {
+	if _, err := fmt.Fprintf(w, "#%s\t%s\n", escapeTSV(t.schema.Name), strings.Join(specs, "\t")); err != nil {
 		return err
 	}
 	var firstErr error
 	t.Scan(func(tp Tuple) bool {
 		parts := make([]string, len(tp))
 		for i, v := range tp {
-			parts[i] = fmt.Sprint(v)
+			parts[i] = escapeTSV(fmt.Sprint(v))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(parts, "\t")); err != nil {
 			firstErr = err
@@ -34,22 +120,38 @@ func (t *Table) WriteTSV(w io.Writer) error {
 	return firstErr
 }
 
+// readLine reads one newline-terminated line of unbounded length,
+// returning io.EOF only when no bytes remain. Unlike bufio.Scanner
+// there is no line-length cap: a single huge value cannot fail the
+// read.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err == io.EOF && line != "" {
+		err = nil // final line without trailing newline
+	}
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r") // tolerate CRLF input
+	return line, err
+}
+
 // ReadTSV parses a table previously written by WriteTSV, rebuilding
 // the schema from the header line and type-converting every value.
 func ReadTSV(r io.Reader) (*Table, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("kbase: reading TSV header: %w", err)
-		}
+	br := bufio.NewReader(r)
+	header, err := readLine(br)
+	if err == io.EOF {
 		return nil, fmt.Errorf("kbase: empty TSV input")
 	}
-	header := sc.Text()
+	if err != nil {
+		return nil, fmt.Errorf("kbase: reading TSV header: %w", err)
+	}
 	if !strings.HasPrefix(header, "#") {
 		return nil, fmt.Errorf("kbase: TSV header must start with '#', got %q", header)
 	}
-	fields := strings.Split(header[1:], "\t")
+	fields, err := splitTSV(header[1:])
+	if err != nil {
+		return nil, err
+	}
 	if len(fields) < 2 {
 		return nil, fmt.Errorf("kbase: malformed TSV header %q", header)
 	}
@@ -65,13 +167,23 @@ func ReadTSV(r io.Reader) (*Table, error) {
 	}
 	t := NewTable(schema)
 	lineNo := 1
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if strings.TrimSpace(line) == "" {
-			continue
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			break
 		}
-		parts := strings.Split(line, "\t")
+		if err != nil {
+			return nil, fmt.Errorf("kbase: reading TSV: %w", err)
+		}
+		lineNo++
+		// No blank-line skipping: with escaping, every emitted line —
+		// including "" (a single empty-string column) and "\t" (a row
+		// of empty strings) — is a real row, and WriteTSV never
+		// produces spurious blanks.
+		parts, err := splitTSV(line)
+		if err != nil {
+			return nil, fmt.Errorf("kbase: TSV line %d: %w", lineNo, err)
+		}
 		if len(parts) != schema.Arity() {
 			return nil, fmt.Errorf("kbase: TSV line %d: %d values, want %d", lineNo, len(parts), schema.Arity())
 		}
@@ -98,8 +210,144 @@ func ReadTSV(r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("kbase: TSV line %d: %w", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("kbase: reading TSV: %w", err)
-	}
 	return t, nil
+}
+
+// manifestName is the snapshot directory's table-of-contents file. It
+// pins the table set, so stray files in the directory are ignored and
+// a truncated snapshot is detected as a missing table file.
+const manifestName = "MANIFEST"
+
+// SaveDB snapshots a whole database into a directory: one
+// "<table>.tsv" file per relation plus a MANIFEST listing the tables.
+// The snapshot is written into a fresh temporary sibling directory
+// and swapped into place, so a crash or disk-full mid-save can never
+// leave a MANIFEST pointing at a mix of old and new table files — dir
+// either keeps the previous consistent snapshot (up to the final
+// rename pair) or holds the new one.
+func SaveDB(db *DB, dir string) error {
+	names := db.Names()
+	for _, name := range names {
+		if !safeTableFile(name) {
+			return fmt.Errorf("kbase: table name %q is not snapshot-safe", name)
+		}
+	}
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, filepath.Base(dir)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp) // no-op after the successful rename
+	for _, name := range names {
+		f, err := os.Create(filepath.Join(tmp, name+".tsv"))
+		if err != nil {
+			return err
+		}
+		if err := db.Table(name).WriteTSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(tmp, manifestName), []byte(strings.Join(names, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	// Swap: retire any existing snapshot, move the new one in. Only a
+	// prior snapshot (or an empty directory) is ever displaced —
+	// overwriting an arbitrary directory would destroy user data.
+	old := dir + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		if !IsSnapshot(dir) {
+			if rmErr := os.Remove(dir); rmErr != nil { // succeeds only when empty
+				return fmt.Errorf("kbase: refusing to overwrite %s: not a snapshot directory", dir)
+			}
+		} else if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+	return os.RemoveAll(old)
+}
+
+// LoadDB restores a database from a SaveDB directory.
+func LoadDB(dir string) (*DB, error) {
+	body, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("kbase: reading snapshot manifest: %w", err)
+	}
+	db := NewDB()
+	for _, name := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !safeTableFile(name) {
+			return nil, fmt.Errorf("kbase: manifest table name %q is not snapshot-safe", name)
+		}
+		f, err := os.Open(filepath.Join(dir, name+".tsv"))
+		if err != nil {
+			return nil, err
+		}
+		t, err := ReadTSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("kbase: table %s: %w", name, err)
+		}
+		if t.Schema().Name != name {
+			return nil, fmt.Errorf("kbase: snapshot file %s.tsv holds table %q", name, t.Schema().Name)
+		}
+		if err := db.Attach(t); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// IsSnapshot reports whether dir looks like a SaveDB snapshot (it has
+// a manifest).
+func IsSnapshot(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// safeTableFile accepts table names that map to a plain file inside
+// the snapshot directory.
+func safeTableFile(name string) bool {
+	return name != "" && name != "." && name != ".." &&
+		!strings.ContainsAny(name, "/\\\n\t")
+}
+
+// EqualDB reports whether two databases hold the same relations with
+// the same tuple sets (insertion order is ignored — relations have set
+// semantics).
+func EqualDB(a, b *DB) bool {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return false
+	}
+	sort.Strings(an)
+	for i, name := range an {
+		if bn[i] != name {
+			return false
+		}
+		ta, tb := a.Table(name), b.Table(name)
+		if ta.Len() != tb.Len() {
+			return false
+		}
+		cmp := Compare(ta, tb)
+		if cmp.NewEntries != 0 || cmp.Overlap != ta.Len() {
+			return false
+		}
+	}
+	return true
 }

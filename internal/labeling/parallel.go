@@ -61,6 +61,74 @@ func ParallelApplyColumn(m *Matrix, cands []*candidates.Candidate, col int, lf L
 	}
 }
 
+// ParallelVotes evaluates every LF on every candidate and returns the
+// clamped votes candidate-major (votes[i][j] is LF j's vote on
+// cands[i]). This is the delta-apply primitive of the store-backed
+// pipeline: the store keeps votes as its persistent Labels relation
+// and materializes matrices from them positionally, so newly ingested
+// documents only ever need their own candidates labeled.
+func ParallelVotes(lfs []LF, cands []*candidates.Candidate, workers int) [][]int8 {
+	out := make([][]int8, len(cands))
+	if len(lfs) == 0 {
+		for i := range out {
+			out[i] = []int8{}
+		}
+		return out
+	}
+	nShards := (len(cands) + parallelShardSize - 1) / parallelShardSize
+	pool.Run(nShards, workers, func(s int) {
+		lo := s * parallelShardSize
+		hi := lo + parallelShardSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		for i := lo; i < hi; i++ {
+			row := make([]int8, len(lfs))
+			for j, lf := range lfs {
+				row[j] = clampVote(lf.Fn(cands[i]))
+			}
+			out[i] = row
+		}
+	})
+	return out
+}
+
+// ParallelColumnVotes evaluates a single LF across all candidates,
+// returning the clamped vote per candidate — the store's fast path
+// when one labeling function is added or edited mid-session.
+func ParallelColumnVotes(lf LF, cands []*candidates.Candidate, workers int) []int8 {
+	out := make([]int8, len(cands))
+	nShards := (len(cands) + parallelShardSize - 1) / parallelShardSize
+	pool.Run(nShards, workers, func(s int) {
+		lo := s * parallelShardSize
+		hi := lo + parallelShardSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = clampVote(lf.Fn(cands[i]))
+		}
+	})
+	return out
+}
+
+// MatrixFromVotes materializes a LIL-backed label matrix from
+// candidate-major vote rows (row i of the matrix is votes[i]),
+// dropping abstains. The result is identical to
+// Apply(lfs, cands).Compact() when votes came from the same LFs in
+// the same candidate order.
+func MatrixFromVotes(votes [][]int8, numLFs int) *Matrix {
+	m := NewMatrix(sparse.NewLIL(), len(votes), numLFs)
+	for i, row := range votes {
+		for j, v := range row {
+			if v != 0 {
+				m.M.Set(i, j, float64(v))
+			}
+		}
+	}
+	return m
+}
+
 // ParallelApply runs every LF over every candidate with up to workers
 // goroutines (<=0 means GOMAXPROCS), producing the same COO-backed
 // matrix as Apply.
