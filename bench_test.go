@@ -8,7 +8,10 @@ package fonduer
 // numbers next to the timings.
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/core"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/nlp"
 	"repro/internal/parser"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/synth"
 )
@@ -221,6 +225,59 @@ func BenchmarkIngestIncremental(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkServeKBRead / BenchmarkServeMixedRead establish the
+// serving subsystem's read-throughput baseline: concurrent clients
+// querying a populated store through the full HTTP handler stack
+// (request routing, snapshot-view loading, tuple cloning, JSON
+// encoding) without network overhead. ns/op is the per-query latency;
+// queries/sec is reported as a custom metric.
+func BenchmarkServeKBRead(b *testing.B) {
+	benchServeRead(b, []string{"/kb"})
+}
+
+// BenchmarkServeMixedRead rotates through every read endpoint,
+// approximating a mixed dashboard workload.
+func BenchmarkServeMixedRead(b *testing.B) {
+	benchServeRead(b, []string{"/kb", "/candidates?limit=10", "/marginals", "/lfmetrics", "/features", "/meta", "/healthz"})
+}
+
+func benchServeRead(b *testing.B, paths []string) {
+	elec := synth.Electronics(8, 16)
+	task := elec.Tasks[0]
+	srv, err := serve.New(serve.Config{
+		Task:    task,
+		Options: core.Options{Seed: 1, Epochs: 2},
+		Gold:    elec.GoldTuples[task.Relation],
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Ingest(elec.Docs); err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		// Requests must be per-iteration: ServeMux writes routing
+		// state (r.Pattern) into the request on dispatch.
+		i := 0
+		for pb.Next() {
+			path := paths[i%len(paths)]
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d for %s", rec.Code, path)
+			}
+			i++
+		}
+	})
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "queries/sec")
 	}
 }
 

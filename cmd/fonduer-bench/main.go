@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,38 +38,54 @@ func main() {
 	}
 	cfg.Workers = *workers
 
-	runners := []struct {
-		name string
-		run  func() fmt.Stringer
-	}{
-		{"table2", func() fmt.Stringer { return experiments.Table2(cfg) }},
-		{"table3", func() fmt.Stringer { return experiments.Table3(cfg) }},
-		{"table4", func() fmt.Stringer { return experiments.Table4(cfg) }},
-		{"table5", func() fmt.Stringer { return experiments.Table5(cfg) }},
-		{"table6", func() fmt.Stringer { return experiments.Table6(cfg) }},
-		{"fig4", func() fmt.Stringer { return experiments.Figure4(cfg) }},
-		{"fig6", func() fmt.Stringer { return experiments.Figure6(cfg) }},
-		{"fig7", func() fmt.Stringer { return experiments.Figure7(cfg) }},
-		{"fig8", func() fmt.Stringer { return experiments.Figure8(cfg) }},
-		{"fig9", func() fmt.Stringer { return experiments.Figure9(cfg) }},
-		{"cache", func() fmt.Stringer { return experiments.CacheStudy(cfg) }},
-		{"sparse", func() fmt.Stringer { return experiments.DefaultSparseStudy() }},
-		{"speedup", func() fmt.Stringer { return experiments.SpeedupStudy(cfg) }},
+	if err := runExperiments(os.Stdout, cfg, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer-bench:", err)
+		os.Exit(1)
 	}
+}
 
+// runner names one reproducible experiment.
+type runner struct {
+	name string
+	run  func(experiments.Config) fmt.Stringer
+}
+
+// runners enumerates every experiment this command can regenerate.
+func runners() []runner {
+	return []runner{
+		{"table2", func(cfg experiments.Config) fmt.Stringer { return experiments.Table2(cfg) }},
+		{"table3", func(cfg experiments.Config) fmt.Stringer { return experiments.Table3(cfg) }},
+		{"table4", func(cfg experiments.Config) fmt.Stringer { return experiments.Table4(cfg) }},
+		{"table5", func(cfg experiments.Config) fmt.Stringer { return experiments.Table5(cfg) }},
+		{"table6", func(cfg experiments.Config) fmt.Stringer { return experiments.Table6(cfg) }},
+		{"fig4", func(cfg experiments.Config) fmt.Stringer { return experiments.Figure4(cfg) }},
+		{"fig6", func(cfg experiments.Config) fmt.Stringer { return experiments.Figure6(cfg) }},
+		{"fig7", func(cfg experiments.Config) fmt.Stringer { return experiments.Figure7(cfg) }},
+		{"fig8", func(cfg experiments.Config) fmt.Stringer { return experiments.Figure8(cfg) }},
+		{"fig9", func(cfg experiments.Config) fmt.Stringer { return experiments.Figure9(cfg) }},
+		{"cache", func(cfg experiments.Config) fmt.Stringer { return experiments.CacheStudy(cfg) }},
+		{"sparse", func(experiments.Config) fmt.Stringer { return experiments.DefaultSparseStudy() }},
+		{"speedup", func(cfg experiments.Config) fmt.Stringer { return experiments.SpeedupStudy(cfg) }},
+	}
+}
+
+// runExperiments regenerates the selected experiment ("all" for every
+// one) at the given configuration, writing each result and its
+// wall-clock cost to w.
+func runExperiments(w io.Writer, cfg experiments.Config, exp string) error {
 	matched := false
-	for _, r := range runners {
-		if *exp != "all" && *exp != r.name {
+	for _, r := range runners() {
+		if exp != "all" && exp != r.name {
 			continue
 		}
 		matched = true
 		start := time.Now()
-		result := r.run()
-		fmt.Println(strings.TrimRight(result.String(), "\n"))
-		fmt.Printf("[%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
+		result := r.run(cfg)
+		fmt.Fprintln(w, strings.TrimRight(result.String(), "\n"))
+		fmt.Fprintf(w, "[%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "fonduer-bench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return nil
 }

@@ -1,0 +1,124 @@
+// Command fonduer-serve serves a knowledge-base session over HTTP:
+// snapshot-isolated reads (KB tuples, candidates, marginals, LF
+// metrics, feature statistics, session metadata), online document
+// ingestion with incremental retraining, ad-hoc classification
+// against the current model, and snapshot-to-disk — all concurrently,
+// with every response served from exactly one published epoch (see
+// internal/serve for the copy-on-write concurrency model).
+//
+// Usage:
+//
+//	fonduer-serve -addr :8080 -domain electronics                # empty session, ingest online
+//	fonduer-serve -store ./session -domain electronics           # serve a 'fonduer -store ./session' build
+//	fonduer-serve -store ./session -relation HasCollectorCurrent # pick one of the domain's relations
+//
+// With -store, the directory layout of cmd/fonduer is understood
+// directly: a batch-built session snapshot at <store>/<relation> is
+// resumed (no re-parse, no re-extract) and served; if none exists
+// yet, the server starts empty and POST /admin/snapshot persists to
+// that same path, so fonduer and fonduer-serve can hand one session
+// back and forth.
+//
+// Endpoints (all JSON; every response carries its epoch):
+//
+//	GET  /healthz   GET /kb   GET /candidates   GET /marginals
+//	GET  /lfmetrics GET /features GET /meta
+//	POST /ingest    POST /classify   POST /admin/snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	fonduer "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	store := flag.String("store", "", "session directory as used by 'fonduer -store' (snapshot lives at <store>/<relation>)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size for ingest-time pipeline stages (0 = GOMAXPROCS)")
+	domain := flag.String("domain", "electronics", "task definitions to use: electronics, ads, paleo, genomics")
+	relation := flag.String("relation", "", "relation to serve (default: the domain's first)")
+	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
+	epochs := flag.Int("epochs", 16, "training epochs per published view")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	view := srv.CurrentView()
+	if resumed {
+		fmt.Printf("resumed %s session: %d documents, %d candidates\n",
+			task.Relation, view.NumDocs(), len(view.Candidates()))
+	} else {
+		fmt.Printf("serving empty %s session (ingest documents via POST /ingest)\n", task.Relation)
+	}
+	fmt.Printf("fonduer-serve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer resolves the domain's task, resumes the session
+// snapshot when one exists under storeDir, and assembles the server.
+// resumed reports whether a snapshot was loaded.
+func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers int) (*serve.Server, fonduer.Task, bool, error) {
+	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
+	if err != nil {
+		return nil, fonduer.Task{}, false, err
+	}
+	var task fonduer.Task
+	found := false
+	for _, t := range ref.Tasks {
+		if relation == "" || t.Relation == relation {
+			task = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fonduer.Task{}, false, fmt.Errorf("no task matches relation %q in domain %q", relation, domain)
+	}
+
+	// The flag value is always explicit, so ThresholdOverride is the
+	// right carrier: it expresses every value exactly, including 0
+	// (which the plain field's zero-value sentinel would snap to 0.5).
+	opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed, Workers: workers}
+	var st *fonduer.Store
+	snapDir := ""
+	resumed := false
+	if storeDir != "" {
+		// Accept both a per-relation snapshot directory and the
+		// cmd/fonduer parent layout (<store>/<relation>).
+		snapDir = storeDir
+		if !fonduer.IsStoreDir(snapDir) {
+			snapDir = filepath.Join(storeDir, task.Relation)
+		}
+		if fonduer.IsStoreDir(snapDir) {
+			st, err = fonduer.OpenStore(snapDir, task, opts)
+			if err != nil {
+				return nil, fonduer.Task{}, false, fmt.Errorf("resuming %s: %w", snapDir, err)
+			}
+			resumed = true
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Task:        task,
+		Options:     opts,
+		Store:       st,
+		SnapshotDir: snapDir,
+	})
+	if err != nil {
+		return nil, fonduer.Task{}, false, err
+	}
+	return srv, task, resumed, nil
+}

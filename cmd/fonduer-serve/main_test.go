@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	fonduer "repro"
+)
+
+func get(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeStoreIntegration is the command-level acceptance test: a
+// session batch-built through the fonduer.Store API (exactly what
+// 'fonduer -store' persists, same <store>/<relation> layout) is
+// served directly by buildServer — resumed from disk, with the KB,
+// candidates and metadata immediately queryable.
+func TestServeStoreIntegration(t *testing.T) {
+	storeDir := t.TempDir()
+	corpus := fonduer.ElectronicsCorpus(3, 6)
+	task := corpus.Tasks[0]
+	opts := fonduer.Options{Threshold: 0.5, Epochs: 2, Seed: 1}
+	st := fonduer.NewStore(task, opts)
+	if err := st.AddDocuments(corpus.Docs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(filepath.Join(storeDir, task.Relation)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, servedTask, resumed, err := buildServer(storeDir, "electronics", task.Relation, 0.5, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !resumed {
+		t.Fatal("expected the snapshot to be resumed")
+	}
+	if servedTask.Relation != task.Relation {
+		t.Fatalf("served relation %q, want %q", servedTask.Relation, task.Relation)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	h := get(t, ts.URL+"/healthz")
+	if h["docs"].(float64) != 6 {
+		t.Fatalf("resumed healthz = %v", h)
+	}
+	meta := get(t, ts.URL+"/meta")
+	if meta["relation"].(string) != task.Relation {
+		t.Fatalf("meta relation = %v", meta["relation"])
+	}
+	kb := get(t, ts.URL+"/kb")
+	if int(kb["total"].(float64)) != len(kb["tuples"].([]any)) {
+		t.Fatalf("kb payload inconsistent: %v", kb)
+	}
+}
+
+// TestServeFreshSession covers the no-snapshot path: buildServer with
+// an empty store directory serves an empty epoch-0 session ready for
+// online ingestion, defaulting to the domain's first relation.
+func TestServeFreshSession(t *testing.T) {
+	srv, task, resumed, err := buildServer(t.TempDir(), "electronics", "", 0.5, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if resumed {
+		t.Fatal("nothing to resume from an empty directory")
+	}
+	if task.Relation == "" {
+		t.Fatal("no default relation resolved")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h := get(t, ts.URL+"/healthz")
+	if h["docs"].(float64) != 0 || h["epoch"].(float64) != 0 {
+		t.Fatalf("fresh healthz = %v", h)
+	}
+}
+
+// TestServeUnknownInputs covers flag validation.
+func TestServeUnknownInputs(t *testing.T) {
+	if _, _, _, err := buildServer("", "nosuchdomain", "", 0.5, 1, 1, 1); err == nil {
+		t.Fatal("unknown domain must fail")
+	}
+	if _, _, _, err := buildServer("", "electronics", "NoSuchRelation", 0.5, 1, 1, 1); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+}

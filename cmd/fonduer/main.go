@@ -49,7 +49,8 @@ func main() {
 func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir, storeDir string) error {
 	// Task definitions come from the domain's built-in tasks (the
 	// matchers, throttlers and labeling functions a user would write).
-	ref, err := referenceCorpus(domain)
+	// Two documents suffice: only the task definitions are used.
+	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
 	if err != nil {
 		return err
 	}
@@ -85,7 +86,9 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 		if err != nil {
 			return err
 		}
-		opts := fonduer.Options{Threshold: threshold, Epochs: epochs, Seed: seed}
+		// ThresholdOverride, not Threshold: the flag value is always
+		// explicit, and the plain field snaps 0 to the 0.5 default.
+		opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed}
 
 		var res fonduer.Result
 		if storeDir == "" {
@@ -160,22 +163,6 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 	return nil
 }
 
-func referenceCorpus(domain string) (*fonduer.Corpus, error) {
-	// Two documents suffice: only the task definitions are used.
-	switch domain {
-	case "electronics":
-		return fonduer.ElectronicsCorpus(0, 2), nil
-	case "ads":
-		return fonduer.AdsCorpus(0, 2), nil
-	case "paleo":
-		return fonduer.PaleoCorpus(0, 2), nil
-	case "genomics":
-		return fonduer.GenomicsCorpus(0, 2), nil
-	default:
-		return nil, fmt.Errorf("unknown domain %q", domain)
-	}
-}
-
 func loadDocs(dir string) ([]*fonduer.Document, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -238,19 +225,11 @@ func loadGold(path string) ([]fonduer.GoldTuple, error) {
 	return out, nil
 }
 
-// splitNames alternates documents into train/test by position. It is
-// the single partition rule: both the fresh path (split) and the
-// store-resume path consume it, so the two invocation styles can
-// never disagree on the split.
+// splitNames is the single partition rule — core.AlternateSplit —
+// consumed by both the fresh path (split) and the store-resume path,
+// so the two invocation styles can never disagree on the split.
 func splitNames(names []string) (train, test []string) {
-	for i, n := range names {
-		if i%2 == 0 {
-			train = append(train, n)
-		} else {
-			test = append(test, n)
-		}
-	}
-	return train, test
+	return fonduer.AlternateSplit(names)
 }
 
 func split(docs []*fonduer.Document) (train, test []*fonduer.Document) {

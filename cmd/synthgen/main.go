@@ -44,18 +44,7 @@ func main() {
 }
 
 func generate(domain string, seed int64, docs int) (*fonduer.Corpus, error) {
-	switch domain {
-	case "electronics":
-		return fonduer.ElectronicsCorpus(seed, docs), nil
-	case "ads":
-		return fonduer.AdsCorpus(seed, docs), nil
-	case "paleo":
-		return fonduer.PaleoCorpus(seed, docs), nil
-	case "genomics":
-		return fonduer.GenomicsCorpus(seed, docs), nil
-	default:
-		return nil, fmt.Errorf("unknown domain %q", domain)
-	}
+	return fonduer.CorpusByDomain(domain, seed, docs)
 }
 
 func write(c *fonduer.Corpus, out string) error {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenerateAndWrite is the smoke test for the corpus generator:
+// every domain writes the on-disk layout cmd/fonduer consumes —
+// document sources under docs/ (HTML+vdoc for rendered domains, XML
+// for native-XML ones) and one gold TSV per relation.
+func TestGenerateAndWrite(t *testing.T) {
+	cases := []struct {
+		domain  string
+		ext     string
+		hasVDoc bool
+	}{
+		{"electronics", ".html", true},
+		{"genomics", ".xml", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.domain, func(t *testing.T) {
+			corpus, err := generate(tc.domain, 7, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(corpus.Docs) != 3 {
+				t.Fatalf("generated %d docs, want 3", len(corpus.Docs))
+			}
+			out := t.TempDir()
+			if err := write(corpus, out); err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range corpus.Docs {
+				src := filepath.Join(out, "docs", d.Name+tc.ext)
+				body, err := os.ReadFile(src)
+				if err != nil {
+					t.Fatalf("missing document source: %v", err)
+				}
+				if len(body) == 0 {
+					t.Fatalf("%s is empty", src)
+				}
+				if tc.hasVDoc {
+					if _, err := os.Stat(filepath.Join(out, "docs", d.Name+".vdoc")); err != nil {
+						t.Fatalf("missing rendered layout: %v", err)
+					}
+				}
+			}
+			if len(corpus.GoldTuples) == 0 {
+				t.Fatal("corpus has no gold relations")
+			}
+			for rel, tuples := range corpus.GoldTuples {
+				body, err := os.ReadFile(filepath.Join(out, "gold", rel+".tsv"))
+				if err != nil {
+					t.Fatalf("missing gold TSV: %v", err)
+				}
+				lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+				if len(tuples) > 0 && len(lines) != len(tuples) {
+					t.Fatalf("gold %s has %d lines, want %d", rel, len(lines), len(tuples))
+				}
+				for _, line := range lines {
+					if len(tuples) > 0 && len(strings.Split(line, "\t")) < 2 {
+						t.Fatalf("malformed gold line %q", line)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateUnknownDomain rejects unknown domains.
+func TestGenerateUnknownDomain(t *testing.T) {
+	if _, err := generate("nosuchdomain", 1, 1); err == nil {
+		t.Fatal("unknown domain must error")
+	}
+}

@@ -51,6 +51,7 @@
 package fonduer
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/candidates"
@@ -271,6 +272,32 @@ func PaleoCorpus(seed int64, nDocs int) *Corpus { return synth.Paleo(seed, nDocs
 // HasAssociation(snp, phenotype) task.
 func GenomicsCorpus(seed int64, nDocs int) *Corpus { return synth.Genomics(seed, nDocs) }
 
+// CorpusByDomain generates the named domain's corpus — the one lookup
+// shared by cmd/fonduer, cmd/synthgen and cmd/fonduer-serve, so every
+// binary resolves "-domain" to identical task definitions (matchers,
+// throttlers, labeling functions).
+func CorpusByDomain(domain string, seed int64, nDocs int) (*Corpus, error) {
+	switch domain {
+	case "electronics":
+		return ElectronicsCorpus(seed, nDocs), nil
+	case "ads":
+		return AdsCorpus(seed, nDocs), nil
+	case "paleo":
+		return PaleoCorpus(seed, nDocs), nil
+	case "genomics":
+		return GenomicsCorpus(seed, nDocs), nil
+	default:
+		return nil, fmt.Errorf("unknown domain %q (want electronics, ads, paleo or genomics)", domain)
+	}
+}
+
+// AlternateSplit partitions an ordered document-name list into
+// train/test by alternating position — the single split rule shared
+// by cmd/fonduer's fresh and store-resume paths.
+func AlternateSplit(names []string) (train, test []string) {
+	return core.AlternateSplit(names)
+}
+
 // WriteKB inserts predicted tuples into a knowledge-base table
 // matching the task's schema, creating the table if needed, and
 // returns it. Duplicate tuples are deduplicated by the store.
@@ -335,6 +362,12 @@ func ReadKBTable(r io.Reader) (*KBTable, error) { return kbase.ReadTSV(r) }
 type (
 	// Store is one extraction session's persistent state.
 	Store = core.Store
+	// StoreView is an immutable snapshot of a Store at one epoch —
+	// safe for any number of concurrent readers while a single writer
+	// goroutine keeps mutating the store and publishing fresh views.
+	// The serving subsystem (internal/serve, cmd/fonduer-serve) is
+	// built on it.
+	StoreView = core.StoreView
 )
 
 // NewStore creates an empty session store for a task; opts fixes the

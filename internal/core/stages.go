@@ -216,12 +216,34 @@ func classifyStage(m *model.Model, testEx []model.Example, threshold float64) []
 	return predicted
 }
 
+// stageArtifacts are the trained run's internals that outlive the
+// Result: the frozen feature index the model's columns are numbered
+// by, the trained model itself, and the per-train-candidate denoised
+// marginals. The serving layer captures them in each published
+// StoreView so ad-hoc classification can run against the exact model
+// and feature space of a served epoch.
+type stageArtifacts struct {
+	index     *features.Index
+	model     *model.Model
+	marginals []float64
+}
+
 // runStages composes Featurize-index-materialize, Supervise, Train
 // and Classify over two staged splits. labels is the train split's
 // label matrix (rows positional, matching train.cands); it may be nil
 // when opts.Marginals bypasses supervision. testDocNames scopes the
-// gold tuples for evaluation.
+// gold tuples for evaluation. It is a thin wrapper over
+// runStagesArtifacts for the callers that only need the Result.
 func runStages(task Task, opts Options, train, test stagedSplit, labels *labeling.Matrix, testDocNames map[string]bool, gold []GoldTuple) Result {
+	res, _ := runStagesArtifacts(task, opts, train, test, labels, testDocNames, gold)
+	return res
+}
+
+// runStagesArtifacts is runStages, additionally returning the run's
+// trained artifacts. Every caller shares this single code path, which
+// is what makes served-epoch results structurally bit-identical to
+// from-scratch Run results.
+func runStagesArtifacts(task Task, opts Options, train, test stagedSplit, labels *labeling.Matrix, testDocNames map[string]bool, gold []GoldTuple) (Result, stageArtifacts) {
 	res := Result{TrainCandidates: len(train.cands), TestCandidates: len(test.cands)}
 
 	// ---- Featurization (Phase 3a): frozen index from train counts,
@@ -259,5 +281,5 @@ func runStages(task Task, opts Options, train, test stagedSplit, labels *labelin
 	res.TrainStats = trainStats
 	res.Predicted = classifyStage(m, testEx, opts.Threshold)
 	res.Quality = EvaluateTuples(res.Predicted, FilterGold(gold, testDocNames))
-	return res
+	return res, stageArtifacts{index: ix, model: m, marginals: marginals}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
@@ -44,11 +45,24 @@ import (
 // exactly as the paper's ablations re-populate their database.
 //
 // Store methods are not safe for concurrent use; internally each
-// stage fans out over the PR-1 worker pool (Options.Workers).
+// stage fans out over the PR-1 worker pool (Options.Workers). The
+// concurrency contract, relied on by the serving layer
+// (internal/serve), is writer-goroutine-only mutation: all mutating
+// calls (AddDocuments, AddLF, EditLF, and Snapshot, which reads the
+// whole relation set) must come from one goroutine — or be externally
+// serialized — while concurrent readers consume immutable StoreViews
+// published by View. A cheap atomic guard turns violations into an
+// immediate panic instead of silent corruption.
 type Store struct {
 	task Task
 	opts Options
 	lfs  []labeling.LF
+
+	// mutating is the misuse detector behind the writer-goroutine-only
+	// contract; epoch counts completed mutations, stamping each
+	// published StoreView.
+	mutating atomic.Bool
+	epoch    uint64
 
 	docs   []*storeDoc
 	byName map[string]*storeDoc
@@ -157,6 +171,30 @@ func (s *Store) LabelMatrix() *labeling.Matrix {
 // operations (DevSession exposes this through its Workers field).
 func (s *Store) setWorkers(n int) { s.opts.Workers = n }
 
+// Epoch returns the number of completed mutations (document ingests
+// and labeling-function installs/edits). Each published StoreView is
+// stamped with the epoch it was built at.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// beginMutation enforces the writer-goroutine-only contract: a second
+// mutation entering while one is in flight is a caller bug (two
+// goroutines mutating one store), and panics immediately rather than
+// corrupting the relations.
+func (s *Store) beginMutation() {
+	if !s.mutating.CompareAndSwap(false, true) {
+		panic("core: concurrent Store mutation — Store writes are writer-goroutine-only; " +
+			"publish StoreViews (Store.View) for concurrent readers")
+	}
+}
+
+// endMutation releases the guard; changed mutations advance the epoch.
+func (s *Store) endMutation(changed bool) {
+	if changed {
+		s.epoch++
+	}
+	s.mutating.Store(false)
+}
+
 // AddDocuments ingests documents incrementally: the Extract,
 // Featurize and Supervise stages run for the new documents only, the
 // new per-document FeatureCounts shards are merged into the session
@@ -171,6 +209,9 @@ func (s *Store) setWorkers(n int) { s.opts.Workers = n }
 // store state is observably equivalent regardless of how a corpus is
 // batched across AddDocuments calls.
 func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
+	s.beginMutation()
+	changed := false
+	defer func() { s.endMutation(changed) }()
 	var delta []*datamodel.Document
 	seen := map[string]*datamodel.Document{}
 	for _, d := range docs {
@@ -240,6 +281,7 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	votes := labeling.ParallelVotes(s.lfs, deltaCands, workers)
 
 	// ---- Merge: append per-document state and sum the count shards.
+	changed = true
 	newDocs := make([]*storeDoc, 0, len(delta))
 	vi := 0
 	for i, d := range delta {
@@ -307,6 +349,8 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 // candidate — the Supervise stage re-run for one new Labels column.
 // It returns the LF's column index.
 func (s *Store) AddLF(lf labeling.LF) int {
+	s.beginMutation()
+	defer s.endMutation(true)
 	col := len(s.lfs)
 	s.lfs = append(s.lfs, lf)
 	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
@@ -326,6 +370,8 @@ func (s *Store) EditLF(col int, lf labeling.LF) error {
 	if col < 0 || col >= len(s.lfs) {
 		return fmt.Errorf("core: no labeling function at column %d", col)
 	}
+	s.beginMutation()
+	defer s.endMutation(true)
 	s.lfs[col] = lf
 	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
 	for i := range s.votes {
@@ -379,13 +425,23 @@ func (s *Store) splitView(names []string) (stagedSplit, error) {
 // the run's frozen index from the train split's counts, exactly as a
 // from-scratch run would.
 func (s *Store) RunSplit(trainNames, testNames []string, gold []GoldTuple) (Result, error) {
+	res, _, err := s.runSplitArtifacts(trainNames, testNames, gold)
+	return res, err
+}
+
+// runSplitArtifacts is RunSplit, additionally returning the run's
+// trained artifacts (frozen index, model, marginals) for StoreView
+// publication. One code path serves both, so a served epoch's results
+// are structurally bit-identical to RunSplit — and therefore to a
+// from-scratch Run — over the same corpus.
+func (s *Store) runSplitArtifacts(trainNames, testNames []string, gold []GoldTuple) (Result, stageArtifacts, error) {
 	train, err := s.splitView(trainNames)
 	if err != nil {
-		return Result{}, err
+		return Result{}, stageArtifacts{}, err
 	}
 	test, err := s.splitView(testNames)
 	if err != nil {
-		return Result{}, err
+		return Result{}, stageArtifacts{}, err
 	}
 	var labels *labeling.Matrix
 	if s.opts.Marginals == nil {
@@ -399,5 +455,6 @@ func (s *Store) RunSplit(trainNames, testNames []string, gold []GoldTuple) (Resu
 	for _, n := range testNames {
 		testDocs[n] = true
 	}
-	return runStages(s.task, s.opts, train, test, labels, testDocs, gold), nil
+	res, art := runStagesArtifacts(s.task, s.opts, train, test, labels, testDocs, gold)
+	return res, art, nil
 }

@@ -468,8 +468,12 @@ func (s *Store) mirrorColumn(col int, votes []int8) {
 
 // Snapshot writes the store's relations to dir as a kbase snapshot
 // (one TSV per relation plus a manifest). A snapshotted session can
-// be resumed with OpenStore.
+// be resumed with OpenStore. Snapshot reads the entire relation set,
+// so it takes the mutation guard: it must run on the writer goroutine
+// (or otherwise exclusively with mutations), exactly like a write.
 func (s *Store) Snapshot(dir string) error {
+	s.beginMutation()
+	defer s.endMutation(false)
 	return kbase.SaveDB(s.db, dir)
 }
 

@@ -128,3 +128,19 @@ func DocNames(docs []*datamodel.Document) map[string]bool {
 	}
 	return out
 }
+
+// AlternateSplit partitions an ordered document-name list into
+// train/test by alternating position (even → train, odd → test). It
+// is the single split rule shared by cmd/fonduer's fresh and
+// store-resume paths and by the serving layer's evaluation metadata,
+// so no two invocation styles can disagree on the partition.
+func AlternateSplit(names []string) (train, test []string) {
+	for i, n := range names {
+		if i%2 == 0 {
+			train = append(train, n)
+		} else {
+			test = append(test, n)
+		}
+	}
+	return train, test
+}

@@ -122,6 +122,19 @@ func (s Schema) SQL() string {
 // float64s matching the schema's column types.
 type Tuple []any
 
+// Clone returns a copy of the tuple that shares no storage with the
+// receiver. Tuple values are immutable scalars (string/int64/float64),
+// so copying the slice fully detaches the clone: mutating it can never
+// corrupt a table that handed it out.
+func (tp Tuple) Clone() Tuple {
+	if tp == nil {
+		return nil
+	}
+	out := make(Tuple, len(tp))
+	copy(out, tp)
+	return out
+}
+
 // Table stores the tuples of one relation with set semantics over the
 // full tuple (inserting a duplicate is a no-op, as relation mentions
 // are de-duplicated when populating the KB).
@@ -267,7 +280,11 @@ func (t *Table) DeleteWhere(pred func(Tuple) bool) int {
 }
 
 // Scan calls fn for every tuple in insertion order; fn returning false
-// stops the scan.
+// stops the scan. The tuple passed to fn is *borrowed*: it aliases
+// table storage for the duration of the callback and must not be
+// retained or modified (clone it with Tuple.Clone to keep it). Scan is
+// the one deliberately zero-copy read path; Select, Tuples and Page
+// return detached clones.
 func (t *Table) Scan(fn func(Tuple) bool) {
 	for _, tp := range t.tuples {
 		if !fn(tp) {
@@ -276,21 +293,52 @@ func (t *Table) Scan(fn func(Tuple) bool) {
 	}
 }
 
-// Select returns the tuples satisfying the predicate.
+// Select returns clones of the tuples satisfying the predicate. The
+// result shares no storage with the table: callers (the serving layer
+// hands these out to concurrent readers) may hold or modify them
+// freely while the table keeps mutating.
 func (t *Table) Select(pred func(Tuple) bool) []Tuple {
 	var out []Tuple
 	for _, tp := range t.tuples {
 		if pred(tp) {
-			out = append(out, tp)
+			out = append(out, tp.Clone())
 		}
 	}
 	return out
 }
 
-// Tuples returns a copy of the stored tuples.
+// Tuples returns a deep copy of the stored tuples: both the outer
+// slice and every tuple are cloned, so the result never aliases table
+// storage.
 func (t *Table) Tuples() []Tuple {
 	out := make([]Tuple, len(t.tuples))
-	copy(out, t.tuples)
+	for i, tp := range t.tuples {
+		out[i] = tp.Clone()
+	}
+	return out
+}
+
+// Page returns clones of up to limit tuples starting at offset (in
+// insertion order) — the pagination read path of the serving layer. A
+// negative or zero limit means "to the end"; offsets past the end
+// return nil.
+func (t *Table) Page(offset, limit int) []Tuple {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(t.tuples) {
+		return nil
+	}
+	end := len(t.tuples)
+	// Compare limit against the remaining window rather than compute
+	// offset+limit, which a huge caller-supplied limit would overflow.
+	if limit > 0 && limit < end-offset {
+		end = offset + limit
+	}
+	out := make([]Tuple, 0, end-offset)
+	for _, tp := range t.tuples[offset:end] {
+		out = append(out, tp.Clone())
+	}
 	return out
 }
 

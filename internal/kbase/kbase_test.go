@@ -1,6 +1,7 @@
 package kbase
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -113,6 +114,69 @@ func TestScanSelect(t *testing.T) {
 	cp[0] = Tuple{"X", "Y"}
 	if tbl.Tuples()[0][0] != "A" {
 		t.Fatal("Tuples must copy")
+	}
+}
+
+// TestReadPathsDetached is the aliasing regression test: tuples handed
+// out by Tuples, Select and Page must not alias table storage, so a
+// reader mutating its copy (or holding it across table mutations) can
+// never corrupt the relation. Scan remains the documented zero-copy
+// borrow; Tuple.Clone detaches a borrowed row.
+func TestReadPathsDetached(t *testing.T) {
+	tbl := NewTable(mustSchema(t, "r", "part", "current:integer"))
+	for i, p := range []string{"A", "B", "C"} {
+		if _, err := tbl.Insert(Tuple{p, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(name string, rows []Tuple) {
+		t.Helper()
+		for _, tp := range rows {
+			tp[0] = "corrupted"
+			tp[1] = int64(999)
+		}
+		want := []string{"A", "B", "C"}
+		for i, tp := range tbl.Tuples() {
+			if tp[0] != want[i] || tp[1] != int64(i) {
+				t.Fatalf("%s aliased table storage: row %d = %v", name, i, tp)
+			}
+		}
+		if !tbl.Contains(Tuple{"A", 0}) {
+			t.Fatalf("%s corrupted the table index", name)
+		}
+	}
+	check("Tuples", tbl.Tuples())
+	check("Select", tbl.Select(func(Tuple) bool { return true }))
+	check("Page", tbl.Page(0, 3))
+
+	// Scan borrows; Clone detaches the borrow.
+	var held Tuple
+	tbl.Scan(func(tp Tuple) bool {
+		held = tp.Clone()
+		return false
+	})
+	held[0] = "mine"
+	if tbl.Tuples()[0][0] != "A" {
+		t.Fatal("Tuple.Clone must detach from table storage")
+	}
+
+	// Page bounds.
+	if got := tbl.Page(1, 1); len(got) != 1 || got[0][0] != "B" {
+		t.Fatalf("Page(1,1) = %v", got)
+	}
+	if got := tbl.Page(2, 0); len(got) != 1 || got[0][0] != "C" {
+		t.Fatalf("Page(2,0) = %v", got)
+	}
+	if got := tbl.Page(5, 2); got != nil {
+		t.Fatalf("Page past end = %v", got)
+	}
+	if got := tbl.Page(-3, 2); len(got) != 2 || got[0][0] != "A" {
+		t.Fatalf("Page(-3,2) = %v", got)
+	}
+	// A huge limit must not overflow offset+limit into a negative
+	// bound (clients control both parameters on the serving layer).
+	if got := tbl.Page(1, math.MaxInt); len(got) != 2 || got[0][0] != "B" {
+		t.Fatalf("Page(1,MaxInt) = %v", got)
 	}
 }
 

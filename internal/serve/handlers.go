@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/datamodel"
+	"repro/internal/kbase"
+	"repro/internal/parser"
+)
+
+// The HTTP API. Every response body carries the epoch it was served
+// from; handlers load the published view exactly once, so a response
+// can never mix state from two epochs.
+//
+//	GET  /healthz         liveness + epoch summary
+//	GET  /kb              KB tuples: relation/column filters, pagination
+//	GET  /candidates      candidates with mentions, votes, marginals
+//	GET  /marginals       denoised per-candidate marginals
+//	GET  /lfmetrics       labeling-function development metrics
+//	GET  /features        feature-space statistics (+ admitted names)
+//	GET  /meta            session metadata: schema, docs, config, quality
+//	POST /ingest          online document ingestion (retrains, publishes)
+//	POST /classify        ad-hoc classification, no store mutation
+//	POST /admin/snapshot  persist the session to disk
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /kb", s.handleKB)
+	mux.HandleFunc("GET /candidates", s.handleCandidates)
+	mux.HandleFunc("GET /marginals", s.handleMarginals)
+	mux.HandleFunc("GET /lfmetrics", s.handleLFMetrics)
+	mux.HandleFunc("GET /features", s.handleFeatures)
+	mux.HandleFunc("GET /meta", s.handleMeta)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /classify", s.handleClassify)
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// ---- JSON plumbing.
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// pageParams parses offset/limit query parameters (limit 0 or absent
+// means "to the end").
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+// pageBounds clips [offset, offset+limit) to n elements. The clamp
+// compares limit against the remaining window instead of computing
+// offset+limit, which a huge client-supplied limit would overflow.
+func pageBounds(n, offset, limit int) (lo, hi int) {
+	if offset > n {
+		offset = n
+	}
+	hi = n
+	if limit > 0 && limit < hi-offset {
+		hi = offset + limit
+	}
+	return offset, hi
+}
+
+// ---- Document uploads.
+
+// DocumentUpload is one document in an ingest or classify request.
+type DocumentUpload struct {
+	Name string `json:"name"`
+	// Format is "html" (default) or "xml".
+	Format string `json:"format,omitempty"`
+	Source string `json:"source"`
+	// VDoc optionally carries the rendered visual layout to align
+	// (HTML documents only).
+	VDoc string `json:"vdoc,omitempty"`
+}
+
+func parseUpload(u DocumentUpload) (*datamodel.Document, error) {
+	if u.Name == "" {
+		return nil, fmt.Errorf("document needs a name")
+	}
+	if u.Source == "" {
+		return nil, fmt.Errorf("document %q has no source", u.Name)
+	}
+	switch u.Format {
+	case "", "html":
+		doc := parser.ParseHTML(u.Name, u.Source)
+		if u.VDoc != "" {
+			v, err := parser.ParseVDoc(u.VDoc)
+			if err != nil {
+				return nil, fmt.Errorf("document %q: vdoc: %w", u.Name, err)
+			}
+			parser.AlignVisual(doc, v)
+		}
+		return doc, nil
+	case "xml":
+		if u.VDoc != "" {
+			return nil, fmt.Errorf("document %q: xml documents carry no visual layout", u.Name)
+		}
+		doc, err := parser.ParseXML(u.Name, u.Source)
+		if err != nil {
+			return nil, fmt.Errorf("document %q: %w", u.Name, err)
+		}
+		return doc, nil
+	default:
+		return nil, fmt.Errorf("document %q: unknown format %q", u.Name, u.Format)
+	}
+}
+
+// ---- Read endpoints.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"epoch":      v.Epoch(),
+		"relation":   v.Relation(),
+		"docs":       v.NumDocs(),
+		"candidates": len(v.Candidates()),
+	})
+}
+
+func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	q := r.URL.Query()
+	if rel := q.Get("relation"); rel != "" && rel != v.Relation() {
+		writeError(w, http.StatusNotFound, "relation %q is not served here (serving %q)", rel, v.Relation())
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	schema := v.Schema()
+	// Column filters: any query parameter named after a schema column
+	// selects tuples whose rendered value matches exactly.
+	type colFilter struct {
+		idx  int
+		want string
+	}
+	var filters []colFilter
+	for name, vals := range q {
+		switch name {
+		case "relation", "offset", "limit":
+			continue
+		}
+		idx := schema.ColIndex(name)
+		if idx < 0 {
+			writeError(w, http.StatusBadRequest, "relation %s has no column %q", schema.Name, name)
+			return
+		}
+		filters = append(filters, colFilter{idx: idx, want: vals[0]})
+	}
+	var page []kbase.Tuple
+	var total, lo int
+	if len(filters) == 0 {
+		// Unfiltered reads clone only the served page, not the whole
+		// table (Table.Page is the pagination read path).
+		total = v.KB().Len()
+		lo, _ = pageBounds(total, offset, limit)
+		page = v.KB().Page(offset, limit)
+	} else {
+		// Filtered reads: one pass over the zero-copy Scan borrow,
+		// cloning only the rows inside the served window.
+		v.KB().Scan(func(tp kbase.Tuple) bool {
+			for _, f := range filters {
+				if fmt.Sprint(tp[f.idx]) != f.want {
+					return true
+				}
+			}
+			if total >= offset && (limit <= 0 || len(page) < limit) {
+				page = append(page, tp.Clone())
+			}
+			total++
+			return true
+		})
+		lo = offset
+		if lo > total {
+			lo = total
+		}
+	}
+	if page == nil {
+		page = []kbase.Tuple{} // serialize as [], never null
+	}
+	cols := make([]string, schema.Arity())
+	for i, c := range schema.Columns {
+		cols[i] = c.Name
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    v.Epoch(),
+		"relation": v.Relation(),
+		"columns":  cols,
+		"total":    total,
+		"offset":   lo,
+		"tuples":   page,
+	})
+}
+
+// mentionJSON locates one candidate argument in its document.
+type mentionJSON struct {
+	Type     string `json:"type"`
+	Sentence int    `json:"sentence"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Text     string `json:"text"`
+}
+
+// candidateJSON is one served candidate.
+type candidateJSON struct {
+	ID       int           `json:"id"`
+	Doc      string        `json:"doc"`
+	Values   []string      `json:"values"`
+	Marginal float64       `json:"marginal"`
+	Votes    []int8        `json:"votes"`
+	Mentions []mentionJSON `json:"mentions"`
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	docFilter := r.URL.Query().Get("doc")
+	cands := v.Candidates()
+	marginals := v.Marginals()
+	sel := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if docFilter != "" && c.Doc().Name != docFilter {
+			continue
+		}
+		sel = append(sel, i)
+	}
+	lo, hi := pageBounds(len(sel), offset, limit)
+	out := make([]candidateJSON, 0, hi-lo)
+	for _, i := range sel[lo:hi] {
+		c := cands[i]
+		cj := candidateJSON{
+			ID:       c.ID,
+			Doc:      c.Doc().Name,
+			Values:   c.Values(),
+			Marginal: marginals[i],
+			Votes:    v.Votes(i),
+		}
+		for _, m := range c.Mentions {
+			cj.Mentions = append(cj.Mentions, mentionJSON{
+				Type:     m.TypeName,
+				Sentence: m.Span.Sentence.Position,
+				Start:    m.Span.Start,
+				End:      m.Span.End,
+				Text:     m.Span.Text(),
+			})
+		}
+		out = append(out, cj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      v.Epoch(),
+		"total":      len(sel),
+		"offset":     lo,
+		"candidates": out,
+	})
+}
+
+func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m := v.Marginals()
+	lo, hi := pageBounds(len(m), offset, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":     v.Epoch(),
+		"total":     len(m),
+		"offset":    lo,
+		"marginals": m[lo:hi],
+	})
+}
+
+func (s *Server) handleLFMetrics(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	metrics := v.LFMetrics()
+	names := v.LFNames()
+	perLF := make([]map[string]any, len(metrics.PerLF))
+	for i, lm := range metrics.PerLF {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		perLF[i] = map[string]any{
+			"name":     name,
+			"coverage": lm.Coverage,
+			"overlap":  lm.Overlap,
+			"conflict": lm.Conflict,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    v.Epoch(),
+		"coverage": metrics.Coverage,
+		"overlap":  metrics.Overlap,
+		"conflict": metrics.Conflict,
+		"perLF":    perLF,
+	})
+}
+
+func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stats := v.FeatureStats()
+	names := v.FeatureNames()
+	lo, hi := pageBounds(len(names), offset, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":            v.Epoch(),
+		"runFeatures":      stats.RunFeatures,
+		"sessionFeatures":  stats.SessionFeatures,
+		"pendingFeatures":  stats.PendingFeatures,
+		"distinctFeatures": stats.DistinctFeatures,
+		"offset":           lo,
+		"names":            names[lo:hi],
+	})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	schema := v.Schema()
+	cols := make([]map[string]string, schema.Arity())
+	for i, c := range schema.Columns {
+		cols[i] = map[string]string{"name": c.Name, "type": c.Type.String()}
+	}
+	res := v.Result()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    v.Epoch(),
+		"relation": v.Relation(),
+		"schema":   map[string]any{"name": schema.Name, "columns": cols},
+		"docs":     v.DocNames(),
+		"lfNames":  v.LFNames(),
+		"tables":   v.TableRows(),
+		"quality": map[string]float64{
+			"precision": res.Quality.Precision,
+			"recall":    res.Quality.Recall,
+			"f1":        res.Quality.F1,
+		},
+		"candidates":  len(v.Candidates()),
+		"numFeatures": res.NumFeatures,
+		"kbEntries":   v.KB().Len(),
+	})
+}
+
+// ---- Write endpoints.
+
+type ingestRequest struct {
+	Documents []DocumentUpload `json:"documents"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest request has no documents")
+		return
+	}
+	docs := make([]*datamodel.Document, len(req.Documents))
+	for i, u := range req.Documents {
+		doc, err := parseUpload(u)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		docs[i] = doc
+	}
+	view, err := s.Ingest(docs)
+	if err != nil {
+		status := http.StatusConflict
+		if err == errClosed {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      view.Epoch(),
+		"added":      len(docs),
+		"docs":       view.NumDocs(),
+		"candidates": len(view.Candidates()),
+	})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var u DocumentUpload
+	if !readJSON(w, r, &u) {
+		return
+	}
+	doc, err := parseUpload(u)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := s.CurrentView()
+	res, err := v.ClassifyDocument(doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	cands := make([]map[string]any, len(res.Candidates))
+	for i, c := range res.Candidates {
+		cands[i] = map[string]any{
+			"values":   c.Values,
+			"marginal": c.Marginal,
+			"positive": c.Positive,
+		}
+	}
+	tuples := make([][]string, len(res.Tuples))
+	for i, t := range res.Tuples {
+		tuples[i] = t.Values
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      v.Epoch(),
+		"relation":   v.Relation(),
+		"doc":        doc.Name,
+		"candidates": cands,
+		"tuples":     tuples,
+	})
+}
+
+// ---- Admin endpoints.
+
+type snapshotRequest struct {
+	Dir string `json:"dir,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if r.ContentLength != 0 {
+		if !readJSON(w, r, &req) {
+			return
+		}
+	}
+	dir, epoch, err := s.Snapshot(req.Dir)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if err == errClosed {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch": epoch,
+		"dir":   dir,
+	})
+}

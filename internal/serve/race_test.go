@@ -1,0 +1,280 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datamodel"
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// reparse rebuilds the corpus documents from their serialized
+// sources — exactly what the server's ingest path does — so the
+// from-scratch baselines below run over byte-identical inputs.
+func reparse(t *testing.T, c *synth.Corpus) []*datamodel.Document {
+	t.Helper()
+	out := make([]*datamodel.Document, len(c.Docs))
+	for i, d := range c.Docs {
+		src := c.Sources[i]
+		if h := src["html"]; h != "" {
+			doc := parser.ParseHTML(d.Name, h)
+			if vs := src["vdoc"]; vs != "" {
+				v, err := parser.ParseVDoc(vs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parser.AlignVisual(doc, v)
+			}
+			out[i] = doc
+			continue
+		}
+		doc, err := parser.ParseXML(d.Name, src["xml"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+// canonicalKB renders a /kb payload's columns+tuples as a canonical
+// string for bit-identity comparison.
+func canonicalKB(columns, tuples any) (string, error) {
+	buf, err := json.Marshal(map[string]any{"columns": columns, "tuples": tuples})
+	return string(buf), err
+}
+
+// fetchJSON is the goroutine-safe GET helper (t.Fatal must not be
+// called off the test goroutine).
+func fetchJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	return out, nil
+}
+
+func num(payload map[string]any, key string) (float64, error) {
+	v, ok := payload[key].(float64)
+	if !ok {
+		return 0, fmt.Errorf("payload field %q missing or not a number: %v", key, payload)
+	}
+	return v, nil
+}
+
+// TestServeConcurrentEpochConsistency is the serving subsystem's
+// flagship -race test: reader goroutines hammer every endpoint over
+// real HTTP while one writer ingests document batches. Every /kb
+// response must be bit-identical to the knowledge base a from-scratch
+// core.Run produces over exactly that epoch's corpus prefix — i.e.
+// each reader observes exactly one published epoch, never a
+// half-applied ingest — and every /candidates response must report
+// that epoch's exact candidate count.
+func TestServeConcurrentEpochConsistency(t *testing.T) {
+	const nDocs, batchSize, nReaders = 10, 2, 4
+	corpus := synth.Electronics(43, nDocs)
+	task := corpus.Tasks[0]
+	gold := corpus.GoldTuples[task.Relation]
+	opts := core.Options{Seed: 9, Epochs: 1, Workers: 2}
+	docs := reparse(t, corpus)
+
+	srv, err := serve.New(serve.Config{Task: task, Options: opts, Gold: gold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	numEpochs := nDocs/batchSize + 1 // initial empty epoch + one per batch
+
+	// Reader goroutines: rotate across every endpoint, recording the
+	// (epoch, payload) observations the validation phase checks.
+	type kbObs struct {
+		epoch uint64
+		kb    string
+	}
+	type candObs struct {
+		epoch uint64
+		total int
+	}
+	var (
+		mu       sync.Mutex
+		kbSeen   []kbObs
+		candSeen []candObs
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	classifyBody, err := json.Marshal(uploadFor(corpus, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch i % 6 {
+				case 0:
+					var resp map[string]any
+					if resp, err = fetchJSON(ts.URL + "/kb"); err == nil {
+						var e float64
+						if e, err = num(resp, "epoch"); err == nil {
+							var kb string
+							if kb, err = canonicalKB(resp["columns"], resp["tuples"]); err == nil {
+								mu.Lock()
+								kbSeen = append(kbSeen, kbObs{epoch: uint64(e), kb: kb})
+								mu.Unlock()
+							}
+						}
+					}
+				case 1:
+					var resp map[string]any
+					if resp, err = fetchJSON(ts.URL + "/candidates?limit=3"); err == nil {
+						var e, total float64
+						if e, err = num(resp, "epoch"); err == nil {
+							if total, err = num(resp, "total"); err == nil {
+								mu.Lock()
+								candSeen = append(candSeen, candObs{epoch: uint64(e), total: int(total)})
+								mu.Unlock()
+							}
+						}
+					}
+				case 2:
+					var resp map[string]any
+					if resp, err = fetchJSON(ts.URL + "/marginals"); err == nil {
+						margs, _ := resp["marginals"].([]any)
+						var total float64
+						if total, err = num(resp, "total"); err == nil && len(margs) != int(total) {
+							err = fmt.Errorf("marginals payload inconsistent: %v", resp)
+						}
+					}
+				case 3:
+					if _, err = fetchJSON(ts.URL + "/lfmetrics"); err == nil {
+						_, err = fetchJSON(ts.URL + "/features")
+					}
+				case 4:
+					if _, err = fetchJSON(ts.URL + "/meta"); err == nil {
+						_, err = fetchJSON(ts.URL + "/healthz")
+					}
+				case 5:
+					// Ad-hoc classification rides along with the reads;
+					// it must never mutate served state.
+					var resp *http.Response
+					if resp, err = http.Post(ts.URL+"/classify", "application/json", strings.NewReader(string(classifyBody))); err == nil {
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							err = fmt.Errorf("classify status %d", resp.StatusCode)
+						}
+					}
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The writer: ingest batch after batch over HTTP. Each reply must
+	// name the next epoch.
+	for b := 0; b*batchSize < nDocs; b++ {
+		var batch []serve.DocumentUpload
+		for i := b * batchSize; i < (b+1)*batchSize; i++ {
+			batch = append(batch, uploadFor(corpus, i))
+		}
+		reply := postJSON(t, ts.URL+"/ingest", map[string]any{"documents": batch}, http.StatusOK)
+		if got, want := epochOf(t, reply), uint64(b+1); got != want {
+			t.Fatalf("batch %d published epoch %d, want %d", b, got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// ---- Validation: recompute every epoch's expected state from
+	// scratch and hold each observation to it.
+	expectKB := make([]string, numEpochs)
+	expectCands := make([]int, numEpochs)
+	for e := 0; e < numEpochs; e++ {
+		prefix := docs[:e*batchSize]
+		res := core.Run(task, prefix, prefix, gold, opts)
+		cols := make([]string, task.Schema.Arity())
+		for i, c := range task.Schema.Columns {
+			cols[i] = c.Name
+		}
+		rows := [][]string{}
+		seen := map[string]bool{}
+		for _, tp := range res.Predicted {
+			key := strings.Join(tp.Values, "\x00")
+			if !seen[key] {
+				seen[key] = true
+				rows = append(rows, tp.Values)
+			}
+		}
+		buf, err := json.Marshal(map[string]any{"columns": cols, "tuples": rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expectKB[e] = string(buf)
+		expectCands[e] = res.TrainCandidates
+	}
+
+	epochsObserved := map[uint64]bool{}
+	for _, obs := range kbSeen {
+		if obs.epoch >= uint64(numEpochs) {
+			t.Fatalf("reader observed unpublished epoch %d", obs.epoch)
+		}
+		epochsObserved[obs.epoch] = true
+		if want := expectKB[obs.epoch]; obs.kb != want {
+			t.Fatalf("epoch %d: served KB is not bit-identical to from-scratch Run\n got: %s\nwant: %s",
+				obs.epoch, obs.kb, want)
+		}
+	}
+	for _, obs := range candSeen {
+		if obs.epoch >= uint64(numEpochs) {
+			t.Fatalf("reader observed unpublished epoch %d", obs.epoch)
+		}
+		if obs.total != expectCands[obs.epoch] {
+			t.Fatalf("epoch %d: served %d candidates, from-scratch Run has %d",
+				obs.epoch, obs.total, expectCands[obs.epoch])
+		}
+	}
+	if len(kbSeen) == 0 || len(candSeen) == 0 {
+		t.Fatal("readers recorded no observations; test is vacuous")
+	}
+	t.Logf("validated %d /kb and %d /candidates observations across epochs %v",
+		len(kbSeen), len(candSeen), keys(epochsObserved))
+}
+
+func keys(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package serve is the concurrent knowledge-base serving subsystem:
+// an HTTP JSON server over one live extraction session (a core.Store)
+// that serves reads to any number of clients while documents keep
+// arriving.
+//
+// # Concurrency model: epoch-based copy-on-write publication
+//
+// The store itself is single-writer by construction (its mutation
+// guard panics on concurrent writes), so the server never lets
+// requests touch it directly. Instead:
+//
+//   - All mutations — online ingestion, snapshots — are funneled
+//     through one writer goroutine, which applies them to the store
+//     strictly serially.
+//   - After every successful mutation the writer builds an immutable
+//     core.StoreView (deep copies of mutable session state, a freshly
+//     trained model, the epoch's classified knowledge base) and
+//     publishes it with a single atomic.Pointer store.
+//   - Read requests load the pointer once and answer entirely from
+//     that view: lock-free, no coordination with the writer, and by
+//     construction a response can only ever observe exactly one
+//     published epoch — never a half-applied ingest.
+//
+// Every response carries the epoch it was served from, so clients
+// (and the race tests) can correlate reads across endpoints. A served
+// epoch's results are bit-identical to a from-scratch core.Run over
+// that epoch's corpus; see core.StoreView.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/datamodel"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Task is the extraction task being served (labeling functions
+	// are code and travel with it).
+	Task core.Task
+	// Options fix the session configuration (variant, modalities,
+	// workers, training knobs). Workers also bounds the writer's
+	// per-ingest parallelism.
+	Options core.Options
+	// Gold, when non-nil, scopes each epoch's quality evaluation
+	// (surfaced in /meta); serving works identically without it.
+	Gold []core.GoldTuple
+	// Store, when non-nil, is an existing session (e.g. resumed from
+	// a cmd/fonduer -store snapshot) to serve; otherwise an empty
+	// session is created. The server takes ownership: no other
+	// goroutine may mutate the store afterwards.
+	Store *core.Store
+	// SnapshotDir, when non-empty, is the default target directory
+	// for POST /admin/snapshot requests that do not name one.
+	SnapshotDir string
+}
+
+// Server serves one extraction session over HTTP. Create with New,
+// attach Handler to an http.Server, and Close when done.
+type Server struct {
+	gold        []core.GoldTuple
+	snapshotDir string
+
+	view atomic.Pointer[core.StoreView]
+
+	reqs      chan writerReq
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// writerReq is one serialized unit of writer-goroutine work.
+type writerReq struct {
+	apply func(st *core.Store) (any, error)
+	reply chan writerReply
+}
+
+type writerReply struct {
+	val any
+	err error
+}
+
+// New builds a server over the configured session, publishes the
+// initial view (epoch 0 for a fresh store; the restored epoch count
+// for a resumed one is 0 too, since epochs count this process's
+// mutations), and starts the writer goroutine.
+func New(cfg Config) (*Server, error) {
+	st := cfg.Store
+	if st == nil {
+		st = core.NewStore(cfg.Task, cfg.Options)
+	}
+	s := &Server{
+		gold:        cfg.Gold,
+		snapshotDir: cfg.SnapshotDir,
+		reqs:        make(chan writerReq),
+		closed:      make(chan struct{}),
+	}
+	view, err := st.View(cfg.Gold)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building initial view: %w", err)
+	}
+	s.view.Store(view)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.closed:
+				return
+			case req := <-s.reqs:
+				val, err := req.apply(st)
+				req.reply <- writerReply{val: val, err: err}
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Close stops the writer goroutine. An in-flight request finishes
+// first; subsequent writes fail with an error. Reads keep working
+// against the last published view.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+// errClosed is returned for writes against a closed server.
+var errClosed = fmt.Errorf("serve: server is closed")
+
+// submit runs fn on the writer goroutine and waits for its result.
+// The request channel is unbuffered, so a send only completes when
+// the writer has taken the request — every accepted request is
+// answered, even across a concurrent Close.
+func (s *Server) submit(fn func(st *core.Store) (any, error)) (any, error) {
+	req := writerReq{apply: fn, reply: make(chan writerReply, 1)}
+	select {
+	case s.reqs <- req:
+		rep := <-req.reply
+		return rep.val, rep.err
+	case <-s.closed:
+		return nil, errClosed
+	}
+}
+
+// CurrentView returns the most recently published epoch view.
+func (s *Server) CurrentView() *core.StoreView { return s.view.Load() }
+
+// Ingest applies one document batch on the writer goroutine —
+// extraction, featurization and supervision for the delta only, per
+// the store's incremental semantics — then retrains and publishes the
+// next epoch's view. It returns the newly published view.
+func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
+	val, err := s.submit(func(st *core.Store) (any, error) {
+		if err := st.AddDocuments(docs...); err != nil {
+			return nil, err
+		}
+		view, err := st.View(s.gold)
+		if err != nil {
+			return nil, err
+		}
+		s.view.Store(view)
+		return view, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*core.StoreView), nil
+}
+
+// Snapshot persists the session's relations to dir (or the
+// configured default when dir is empty) on the writer goroutine, so
+// it can never interleave with an ingest. The returned epoch is
+// captured inside the writer turn, so it names exactly the state the
+// snapshot contains — not whatever epoch is current once the caller
+// reads the reply.
+func (s *Server) Snapshot(dir string) (string, uint64, error) {
+	if dir == "" {
+		dir = s.snapshotDir
+	}
+	if dir == "" {
+		return "", 0, fmt.Errorf("serve: no snapshot directory configured")
+	}
+	val, err := s.submit(func(st *core.Store) (any, error) {
+		if err := st.Snapshot(dir); err != nil {
+			return nil, err
+		}
+		return st.Epoch(), nil
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	return dir, val.(uint64), nil
+}
+
+// Handler returns the HTTP API. See routes in handlers.go.
+func (s *Server) Handler() http.Handler { return s.routes() }
