@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/features"
+	"repro/internal/model"
 	"repro/internal/nlp"
 	"repro/internal/parser"
 	"repro/internal/serve"
@@ -403,5 +404,78 @@ func BenchmarkAblation_LabelModelVsMajorityVote(b *testing.B) {
 			Seed: 1, Epochs: benchCfg().Epochs, MajorityVote: true})
 		b.ReportMetric(gen.Quality.F1, "generative_F1")
 		b.ReportMetric(mv.Quality.F1, "majority_vote_F1")
+	}
+}
+
+// BenchmarkTrainSequential / BenchmarkTrainParallel time deterministic
+// data-parallel minibatch training (model.Train) at Workers=1 vs
+// Workers=8 on the bench corpus's training examples. Both runs train
+// the bit-identical model (gradients reduce in fixed example-index
+// order); the contrast is pure wall clock. These are gated by the CI
+// bench job against bench/baseline.txt.
+func BenchmarkTrainSequential(b *testing.B) { benchTrainWorkers(b, 1) }
+
+// BenchmarkTrainParallel is the 8-worker counterpart.
+func BenchmarkTrainParallel(b *testing.B) { benchTrainWorkers(b, 8) }
+
+// benchTrainCorpus builds the training examples once: the staged
+// pipeline up to (but excluding) the train stage, via the same
+// experiments.TrainExamples helper the trainspeed study uses, so the
+// CI-gated benchmark and the study measure the same workload.
+func benchTrainCorpus(b *testing.B) (task core.Task, numFeatures int, exs []model.Example) {
+	elec := synth.Electronics(42, 32)
+	task = elec.Tasks[0]
+	numFeatures, exs = experiments.TrainExamples(task, elec.Docs, 0)
+	if len(exs) == 0 {
+		b.Fatal("bench corpus produced no covered examples")
+	}
+	return task, numFeatures, exs
+}
+
+func benchTrainWorkers(b *testing.B, workers int) {
+	task, numFeatures, exs := benchTrainCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := model.NewFonduer(len(task.Args), numFeatures, 1, exs)
+		st := m.Train(exs, model.TrainOptions{Epochs: 2, Batch: 16, Workers: workers})
+		b.ReportMetric(st.SecsPerEpoch*1000, "ms/epoch")
+	}
+	b.ReportMetric(float64(len(exs)), "examples")
+}
+
+// BenchmarkServeIngestPublish measures the serving subsystem's
+// ingest-to-publish latency: one POST /ingest-sized document delta
+// applied to a warm session — incremental extract/featurize/label,
+// full retrain, epoch publication — until the new view is readable.
+// This is the write-path number the data-parallel train stage exists
+// to improve; it is gated by the CI bench job.
+func BenchmarkServeIngestPublish(b *testing.B) {
+	elec := synth.Electronics(8, 16)
+	task := elec.Tasks[0]
+	half := len(elec.Docs) / 2
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := serve.New(serve.Config{
+			Task:    task,
+			Options: core.Options{Seed: 1, Epochs: 2, Batch: 16},
+			Gold:    elec.GoldTuples[task.Relation],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Ingest(elec.Docs[:half]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		view, err := srv.Ingest(elec.Docs[half:])
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if view.NumDocs() != len(elec.Docs) {
+			b.Fatalf("published view has %d docs, want %d", view.NumDocs(), len(elec.Docs))
+		}
+		srv.Close()
+		b.StartTimer()
 	}
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrainSequential    	       1	 300000000 ns/op	       396.0 examples	       152.7 ms/epoch
+BenchmarkTrainSequential    	       1	 310000000 ns/op	       396.0 examples	       153.0 ms/epoch
+BenchmarkTrainSequential    	       1	 290000000 ns/op	       396.0 examples	       151.0 ms/epoch
+BenchmarkTrainParallel-8    	       1	 100000000 ns/op
+BenchmarkServeIngestPublish 	       2	 250000000 ns/op
+BenchmarkTokenize           	  500000	      2100 ns/op
+PASS
+ok  	repro	2.9s
+`
+
+func TestParseBenchMediansAndSuffixStripping(t *testing.T) {
+	samples := parseBench(sampleRun)
+	if got := len(samples["BenchmarkTrainSequential"]); got != 3 {
+		t.Fatalf("TrainSequential samples = %d", got)
+	}
+	if median(samples["BenchmarkTrainSequential"]) != 300000000 {
+		t.Fatalf("median = %v", median(samples["BenchmarkTrainSequential"]))
+	}
+	// -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := samples["BenchmarkTrainParallel"]; !ok {
+		t.Fatalf("suffix not stripped: %v", samples)
+	}
+	if _, ok := samples["BenchmarkTokenize"]; !ok {
+		t.Fatal("high-count line not parsed")
+	}
+}
+
+func TestGateThreshold(t *testing.T) {
+	match := regexp.MustCompile(`^Benchmark(Train|Serve|Ingest)`)
+	baseline := map[string][]float64{
+		"BenchmarkTrainSequential": {100},
+		"BenchmarkServeRead":       {100},
+		"BenchmarkTokenize":        {100},
+	}
+
+	// 19% slower on a gated benchmark: passes.
+	rep := gate(baseline, map[string][]float64{
+		"BenchmarkTrainSequential": {119},
+		"BenchmarkServeRead":       {100},
+		"BenchmarkTokenize":        {100},
+	}, match, 0.20)
+	if !rep.Pass {
+		t.Fatalf("19%% regression must pass: %+v", rep)
+	}
+
+	// 21% slower on a gated benchmark: fails.
+	rep = gate(baseline, map[string][]float64{
+		"BenchmarkTrainSequential": {121},
+		"BenchmarkServeRead":       {100},
+		"BenchmarkTokenize":        {100},
+	}, match, 0.20)
+	if rep.Pass {
+		t.Fatal("21% regression must fail")
+	}
+
+	// Arbitrarily slower on an ungated benchmark: passes.
+	rep = gate(baseline, map[string][]float64{
+		"BenchmarkTrainSequential": {100},
+		"BenchmarkServeRead":       {100},
+		"BenchmarkTokenize":        {900},
+	}, match, 0.20)
+	if !rep.Pass {
+		t.Fatalf("ungated regression must pass: %+v", rep)
+	}
+}
+
+func TestGateMissingBenchmarks(t *testing.T) {
+	match := regexp.MustCompile(`^BenchmarkTrain`)
+	baseline := map[string][]float64{
+		"BenchmarkTrainSequential": {100},
+		"BenchmarkTokenize":        {100},
+	}
+
+	// A gated benchmark vanishing from the current run fails.
+	rep := gate(baseline, map[string][]float64{"BenchmarkTokenize": {100}}, match, 0.20)
+	if rep.Pass {
+		t.Fatal("missing gated benchmark must fail")
+	}
+
+	// A new benchmark without a baseline passes with a note.
+	rep = gate(baseline, map[string][]float64{
+		"BenchmarkTrainSequential": {100},
+		"BenchmarkTrainParallel":   {50},
+		"BenchmarkTokenize":        {100},
+	}, match, 0.20)
+	if !rep.Pass {
+		t.Fatalf("new benchmark must pass: %+v", rep)
+	}
+	for _, r := range rep.Benchmarks {
+		if r.Name == "BenchmarkTrainParallel" && r.Note == "" {
+			t.Fatal("new benchmark should carry a refresh note")
+		}
+	}
+}
+
+func TestRunEndToEndJSONArtifact(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.txt")
+	cur := filepath.Join(dir, "current.txt")
+	out := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(base, []byte(sampleRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(sampleRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(base, cur, out, `^Benchmark(Train|Serve|Ingest)`, "deadbeef", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.SHA != "deadbeef" {
+		t.Fatalf("self-comparison must pass: %+v", rep)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sha": "deadbeef"`, `"BenchmarkTrainSequential"`, `"gated": true`} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want)).Match(data) {
+			t.Fatalf("artifact missing %q:\n%s", want, data)
+		}
+	}
+	if _, err := run(base, filepath.Join(dir, "nope.txt"), "", `.`, "", 0.2); err == nil {
+		t.Fatal("missing current file must error")
+	}
+	if _, err := run(base, cur, "", `(`, "", 0.2); err == nil {
+		t.Fatal("bad regexp must error")
+	}
+}

@@ -40,7 +40,8 @@ import (
 func main() {
 	store := flag.String("store", "", "session directory as used by 'fonduer -store' (snapshot lives at <store>/<relation>)")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size for ingest-time pipeline stages (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool size for ingest-time pipeline stages and minibatch training (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "training minibatch size per published view (0 = 1, one Adam step per example; >1 parallelizes gradient work across -workers)")
 	domain := flag.String("domain", "electronics", "task definitions to use: electronics, ads, paleo, genomics")
 	relation := flag.String("relation", "", "relation to serve (default: the domain's first)")
 	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
@@ -48,7 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers)
+	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers, *batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
 		os.Exit(1)
@@ -71,7 +72,7 @@ func main() {
 // buildServer resolves the domain's task, resumes the session
 // snapshot when one exists under storeDir, and assembles the server.
 // resumed reports whether a snapshot was loaded.
-func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers int) (*serve.Server, fonduer.Task, bool, error) {
+func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers, batch int) (*serve.Server, fonduer.Task, bool, error) {
 	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
 	if err != nil {
 		return nil, fonduer.Task{}, false, err
@@ -92,7 +93,7 @@ func buildServer(storeDir, domain, relation string, threshold float64, epochs in
 	// The flag value is always explicit, so ThresholdOverride is the
 	// right carrier: it expresses every value exactly, including 0
 	// (which the plain field's zero-value sentinel would snap to 0.5).
-	opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed, Workers: workers}
+	opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed, Workers: workers, Batch: batch}
 	var st *fonduer.Store
 	snapDir := ""
 	resumed := false

@@ -101,11 +101,21 @@ type Options struct {
 	// MaxDocTokens caps the document-level RNN input (Table 6).
 	MaxDocTokens int
 	// Workers sizes the worker pool shared by the pipeline's parallel
-	// stages — candidate extraction, two-pass featurization, and
-	// labeling-function application. <=0 means GOMAXPROCS. Results are
-	// bit-identical at any worker count: documents are processed
-	// atomically and merged in corpus order (Appendix C).
+	// stages — candidate extraction, two-pass featurization,
+	// labeling-function application, and (when Batch > 1) the
+	// per-example gradient fan-out of minibatch training. <=0 means
+	// GOMAXPROCS. Results are bit-identical at any worker count:
+	// documents are processed atomically and merged in corpus order
+	// (Appendix C), and minibatch gradients are reduced in fixed
+	// example-index order (DESIGN.md §3d).
 	Workers int
+	// Batch is the training minibatch size: per-example gradients are
+	// averaged over Batch examples and applied as one Adam step, so
+	// minibatch gradient work parallelizes across Workers. The zero
+	// value is a sentinel meaning "use the default 1" — one Adam step
+	// per example, the pre-minibatch trajectory. Results depend on
+	// Batch (it is a real hyperparameter) but never on Workers.
+	Batch int
 }
 
 func (o *Options) defaults() {

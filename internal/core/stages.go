@@ -194,7 +194,10 @@ func trainStage(task Task, opts Options, numFeatures int, trainEx []model.Exampl
 	default:
 		panic("core: unknown variant")
 	}
-	stats := m.Train(trainEx, model.TrainOptions{Epochs: opts.Epochs, LR: opts.LR, L2: opts.L2})
+	stats := m.Train(trainEx, model.TrainOptions{
+		Epochs: opts.Epochs, LR: opts.LR, L2: opts.L2,
+		Batch: opts.Batch, Workers: opts.Workers,
+	})
 	return m, stats
 }
 

@@ -17,8 +17,9 @@ import (
 // SpeedupResult reports the staged-parallel pipeline's wall-clock
 // advantage over sequential execution on its embarrassingly parallel
 // phases: candidate extraction, the two featurization passes, and
-// labeling-function application. Training is excluded — it is the one
-// inherently serial stage (SGD epochs). Identical confirms the
+// labeling-function application. Training is excluded here — its own
+// data-parallel speedup is measured by TrainSpeedStudy. Identical
+// confirms the
 // parallel run produced bit-identical candidates and matrices, the
 // tentpole guarantee that makes parallelism safe to enable by default.
 type SpeedupResult struct {

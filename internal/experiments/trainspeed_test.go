@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestTrainSpeedStudy checks the sequential-vs-parallel training
+// harness: the parallel run must train a bit-identical model, and the
+// study must report coherent numbers. The magnitude of the speedup is
+// hardware-dependent (≈1x on one core), so it is reported, not
+// asserted.
+func TestTrainSpeedStudy(t *testing.T) {
+	cfg := FastConfig()
+	cfg.ElecDocs = 6
+	cfg.Epochs = 2
+	r := TrainSpeedStudy(cfg)
+	if !r.Identical {
+		t.Fatal("parallel training diverged from sequential")
+	}
+	if r.Examples == 0 || r.ParamCount == 0 {
+		t.Fatalf("degenerate training set: %+v", r)
+	}
+	if r.SeqSecs <= 0 || r.ParSecs <= 0 || r.SpeedUp <= 0 {
+		t.Fatalf("bad timings: %+v", r)
+	}
+	if s := r.String(); len(s) == 0 {
+		t.Fatal("render")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/candidates"
 	"repro/internal/neural"
 	"repro/internal/nlp"
+	"repro/internal/pool"
 )
 
 // Example is one training or inference instance: a candidate, its
@@ -278,6 +279,12 @@ func (m *Model) encodeSeq(t *neural.Tape, toks []string) *neural.Vec {
 }
 
 // TrainOptions configure Train.
+//
+// Zero-value sentinels: numeric fields treat 0 as "use the default"
+// (documented per field). Where zero is itself a meaningful setting —
+// learning-rate decay turned off — use the corresponding *Override
+// pointer field, which expresses every value exactly (the same
+// convention as core.Options.ThresholdOverride).
 type TrainOptions struct {
 	Epochs int     // default 10
 	LR     float64 // default 0.01
@@ -287,10 +294,26 @@ type TrainOptions struct {
 	// one document) from dominating generic multimodal features.
 	L2 float64
 	// LRDecay divides the learning rate by (1 + LRDecay*epoch),
-	// damping late-training oscillation (default 0.15).
+	// damping late-training oscillation. The zero value is a sentinel
+	// meaning "use the default 0.15"; disabling decay entirely is only
+	// reachable through LRDecayOverride.
 	LRDecay float64
-	// Quiet suppresses nothing today; reserved.
-	Quiet bool
+	// LRDecayOverride, when non-nil, sets the decay coefficient
+	// exactly — including 0 (off) — and takes precedence over LRDecay.
+	LRDecayOverride *float64
+	// Batch is the minibatch size: per-example gradients are averaged
+	// over Batch examples and applied as one Adam step. The zero value
+	// is a sentinel meaning "use the default 1" — one step per example,
+	// the classic per-example trajectory. (0 is not a meaningful batch
+	// size, so no override pointer is needed.) Results are a function
+	// of Batch but never of Workers.
+	Batch int
+	// Workers bounds the goroutines computing a minibatch's
+	// per-example gradients concurrently; <=0 means GOMAXPROCS.
+	// Training results are bit-identical at any worker count: each
+	// minibatch position owns a private gradient buffer, and buffers
+	// are reduced in fixed example-index order (see Train).
+	Workers int
 }
 
 func (o *TrainOptions) defaults() {
@@ -303,8 +326,13 @@ func (o *TrainOptions) defaults() {
 	if o.Clip <= 0 {
 		o.Clip = 5
 	}
-	if o.LRDecay == 0 {
+	if o.LRDecayOverride != nil {
+		o.LRDecay = *o.LRDecayOverride
+	} else if o.LRDecay == 0 {
 		o.LRDecay = 0.15
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
 	}
 }
 
@@ -316,8 +344,66 @@ type TrainStats struct {
 	TotalDuration time.Duration
 }
 
+// shadow returns a replica of the model for one minibatch slot of
+// data-parallel training: every layer shares the master's weight
+// storage but accumulates gradients into private buffers, while the
+// immutable pieces — config, frozen vocabulary — are shared directly.
+// Forward/backward passes through distinct shadows are race-free
+// because nothing mutable is shared; weights must not be updated while
+// shadow passes are in flight. The replica's params list mirrors the
+// master's construction order exactly, which is what lets
+// Params.AccumGrad merge the two position by position.
+func (m *Model) shadow() *Model {
+	s := &Model{cfg: m.cfg, vocab: m.vocab}
+	if m.emb != nil {
+		s.emb = m.emb.Shadow()
+		s.bi = m.bi.Shadow()
+		s.att = m.att.Shadow()
+		s.headText = m.headText.Shadow()
+		s.params = append(s.params, s.emb.Params()...)
+		s.params = append(s.params, s.bi.Params()...)
+		s.params = append(s.params, s.att.Params()...)
+		s.params = append(s.params, s.headText.Params()...)
+	}
+	if m.headSparse != nil {
+		s.headSparse = m.headSparse.Shadow()
+		s.params = append(s.params, s.headSparse)
+	}
+	s.bias = m.bias.Shadow()
+	s.params = append(s.params, s.bias)
+	return s
+}
+
+// trainSlot is one minibatch position's private training state: a
+// shadow model (shared weights, private gradients) and a reusable
+// tape. Slot k always computes the k-th example of the current
+// minibatch, whichever pool worker picks it up, so the work done per
+// slot — and the gradients it yields — never depends on scheduling.
+type trainSlot struct {
+	model *Model
+	tape  *neural.Tape
+	loss  float64
+}
+
 // Train fits the model with Adam on the noise-aware cross-entropy
-// against the examples' marginals.
+// against the examples' marginals, using deterministic data-parallel
+// minibatch SGD:
+//
+//  1. Each epoch shuffles the example order (seeded rng, unchanged
+//     from the sequential implementation).
+//  2. For every minibatch of opts.Batch examples, per-example
+//     gradients are computed concurrently on up to opts.Workers
+//     goroutines — one shadow model and one reusable tape per slot,
+//     no shared mutable state.
+//  3. Slot gradients are reduced into the master accumulator in fixed
+//     example-index order, averaged over the batch, clipped, and
+//     applied as a single Adam step.
+//
+// Because slot k's gradient is a pure function of the weights and
+// example k, and the reduction order is fixed, the trained weights are
+// bit-identical at any worker count. At Batch=1 the reduction is a
+// plain copy and the trajectory is exactly the per-example sequential
+// loop this implementation replaced.
 func (m *Model) Train(examples []Example, opts TrainOptions) TrainStats {
 	opts.defaults()
 	optim := neural.NewAdam(opts.LR)
@@ -326,22 +412,48 @@ func (m *Model) Train(examples []Example, opts TrainOptions) TrainStats {
 	for i := range order {
 		order[i] = i
 	}
+	nslots := opts.Batch
+	if nslots > len(examples) {
+		nslots = len(examples)
+	}
+	if nslots < 1 {
+		nslots = 1
+	}
+	slots := make([]*trainSlot, nslots)
+	for k := range slots {
+		slots[k] = &trainSlot{model: m.shadow(), tape: neural.NewTape()}
+	}
 	start := time.Now()
 	var lastLoss float64
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		optim.LR = opts.LR / (1 + opts.LRDecay*float64(epoch))
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		total := 0.0
-		for _, idx := range order {
-			ex := examples[idx]
+		for base := 0; base < len(order); base += nslots {
+			n := len(order) - base
+			if n > nslots {
+				n = nslots
+			}
+			pool.Run(n, opts.Workers, func(k int) {
+				s := slots[k]
+				s.model.params.ZeroGrad()
+				s.tape.Reset()
+				ex := examples[order[base+k]]
+				logits := s.model.forward(s.tape, ex)
+				loss, node := neural.NoiseAwareCE(s.tape, logits, ex.Marginal)
+				s.loss = loss
+				s.tape.Backward(node)
+			})
 			m.params.ZeroGrad()
-			t := neural.NewTape()
-			logits := m.forward(t, ex)
-			loss, node := neural.NoiseAwareCE(t, logits, ex.Marginal)
-			t.Backward(node)
+			for k := 0; k < n; k++ {
+				m.params.AccumGrad(slots[k].model.params)
+				total += slots[k].loss
+			}
+			if n > 1 {
+				m.params.ScaleGrad(1 / float64(n))
+			}
 			m.params.ClipGrad(opts.Clip)
 			optim.Step(m.params)
-			total += loss
 		}
 		if len(examples) > 0 {
 			lastLoss = total / float64(len(examples))

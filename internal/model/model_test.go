@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
+	"repro/internal/neural"
 )
 
 // makeExample fabricates a single-mention candidate whose sentence
@@ -208,4 +209,167 @@ func TestParamCount(t *testing.T) {
 	if sparseOnly.ParamCount() != 2*100+2 {
 		t.Fatalf("sparse-only params = %d", sparseOnly.ParamCount())
 	}
+}
+
+// mixedDataset combines textual and sparse signal so the Fonduer
+// variant exercises every parameter group (embeddings, Bi-LSTM,
+// attention, both heads) during the equivalence tests below.
+func mixedDataset(n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		cue := "excellent"
+		feats := []int{1, 3}
+		marginal := 1.0
+		if i%2 == 1 {
+			cue, feats, marginal = "terrible", []int{2, 7}, 0
+		}
+		out[i] = makeExample(i, cue, feats, marginal)
+	}
+	return out
+}
+
+// weights snapshots every trainable scalar in params order.
+func weights(m *Model) [][]float64 {
+	out := make([][]float64, len(m.params))
+	for i, p := range m.params {
+		out[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+// mustEqualWeights asserts two snapshots are bitwise identical.
+func mustEqualWeights(t *testing.T, label string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: param group count %d vs %d", label, len(a), len(b))
+	}
+	for p := range a {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatalf("%s: param %d[%d]: %v vs %v", label, p, i, a[p][i], b[p][i])
+			}
+		}
+	}
+}
+
+// referenceTrain is the pre-minibatch sequential loop — one tape, one
+// gradient accumulation and one Adam step per example — kept verbatim
+// as the trajectory oracle for the Batch=1 equivalence contract.
+func referenceTrain(m *Model, examples []Example, opts TrainOptions) float64 {
+	opts.defaults()
+	optim := neural.NewAdam(opts.LR)
+	optim.WeightDecay = opts.L2
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		optim.LR = opts.LR / (1 + opts.LRDecay*float64(epoch))
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			ex := examples[idx]
+			m.params.ZeroGrad()
+			tp := neural.NewTape()
+			logits := m.forward(tp, ex)
+			loss, node := neural.NoiseAwareCE(tp, logits, ex.Marginal)
+			tp.Backward(node)
+			m.params.ClipGrad(opts.Clip)
+			optim.Step(m.params)
+			total += loss
+		}
+		if len(examples) > 0 {
+			lastLoss = total / float64(len(examples))
+		}
+	}
+	return lastLoss
+}
+
+// TestTrainBatch1MatchesSequentialReference pins the tentpole's
+// backward-compatibility contract: minibatch training at Batch=1 must
+// reproduce the pre-parallel per-example trajectory exactly — same
+// weights bit for bit, same reported loss — at any worker count.
+func TestTrainBatch1MatchesSequentialReference(t *testing.T) {
+	exs := mixedDataset(12)
+	ref := NewFonduer(1, 10, 99, exs)
+	refLoss := referenceTrain(ref, exs, TrainOptions{Epochs: 3, LR: 0.02})
+	want := weights(ref)
+
+	for _, workers := range []int{1, 2, 8} {
+		m := NewFonduer(1, 10, 99, exs)
+		st := m.Train(exs, TrainOptions{Epochs: 3, LR: 0.02, Batch: 1, Workers: workers})
+		mustEqualWeights(t, fmt.Sprintf("workers=%d", workers), want, weights(m))
+		if st.FinalLoss != refLoss {
+			t.Fatalf("workers=%d: FinalLoss %v, reference %v", workers, st.FinalLoss, refLoss)
+		}
+	}
+}
+
+// TestTrainWorkerDeterminism asserts the paper-repo determinism
+// contract at the model layer: identical weights across workers
+// {1,2,8} at a minibatch size that actually exercises the parallel
+// reduction, and across repeated runs with a fixed seed.
+func TestTrainWorkerDeterminism(t *testing.T) {
+	exs := mixedDataset(16)
+	train := func(workers int) [][]float64 {
+		m := NewFonduer(1, 10, 7, exs)
+		m.Train(exs, TrainOptions{Epochs: 3, LR: 0.02, Batch: 4, Workers: workers})
+		return weights(m)
+	}
+	want := train(1)
+	for _, workers := range []int{2, 8} {
+		mustEqualWeights(t, fmt.Sprintf("workers=%d", workers), want, train(workers))
+	}
+	// Repeated run, same seed: the rng-driven shuffle stream must make
+	// the whole trajectory reproducible.
+	mustEqualWeights(t, "repeat", want, train(1))
+}
+
+// TestTrainBatchChangesTrajectory guards against Batch being silently
+// ignored: averaging gradients over 4 examples must produce different
+// weights than 4 separate Adam steps.
+func TestTrainBatchChangesTrajectory(t *testing.T) {
+	exs := mixedDataset(16)
+	m1 := NewFonduer(1, 10, 7, exs)
+	m1.Train(exs, TrainOptions{Epochs: 2, LR: 0.02, Batch: 1})
+	m4 := NewFonduer(1, 10, 7, exs)
+	m4.Train(exs, TrainOptions{Epochs: 2, LR: 0.02, Batch: 4})
+	a, b := weights(m1), weights(m4)
+	for p := range a {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				return
+			}
+		}
+	}
+	t.Fatal("Batch=4 trained identically to Batch=1")
+}
+
+// TestLRDecayOverride covers the zero-value-sentinel bugfix: LRDecay=0
+// silently meant "default 0.15", so decay could never be turned off.
+// LRDecayOverride(0) must hold the learning rate constant across
+// epochs — a different trajectory from the default — while
+// LRDecayOverride(0.15) must reproduce the default bitwise.
+func TestLRDecayOverride(t *testing.T) {
+	exs := mixedDataset(12)
+	zero, def := 0.0, 0.15
+
+	mDefault := NewFonduer(1, 10, 5, exs)
+	mDefault.Train(exs, TrainOptions{Epochs: 3, LR: 0.02})
+	mExplicit := NewFonduer(1, 10, 5, exs)
+	mExplicit.Train(exs, TrainOptions{Epochs: 3, LR: 0.02, LRDecayOverride: &def})
+	mustEqualWeights(t, "override(0.15) == default", weights(mDefault), weights(mExplicit))
+
+	mOff := NewFonduer(1, 10, 5, exs)
+	mOff.Train(exs, TrainOptions{Epochs: 3, LR: 0.02, LRDecayOverride: &zero})
+	a, b := weights(mDefault), weights(mOff)
+	for p := range a {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				return
+			}
+		}
+	}
+	t.Fatal("LRDecayOverride(0) trained identically to the default decay")
 }

@@ -7,9 +7,12 @@
 // cross-entropy loss that accepts the probabilistic labels produced by
 // the generative label model.
 //
-// Everything is float64 and single-threaded; the corpora in this
-// reproduction are sized so training runs in seconds, and gradient
-// correctness is enforced by numeric gradient checks in the tests.
+// Everything is float64. A single tape is single-threaded, but the
+// shadow-parameter machinery (Mat.Shadow, Params.AccumGrad) lets any
+// number of goroutines build independent graphs over shared weights
+// with private gradient buffers — the substrate of the model package's
+// deterministic data-parallel training. Gradient correctness is
+// enforced by numeric gradient checks in the tests.
 package neural
 
 import "math"
@@ -23,6 +26,11 @@ type Tape struct {
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
+
+// Reset clears the tape for reuse, keeping the backing storage of the
+// closure list. Training loops that build one graph per example reuse
+// a single tape per worker instead of growing a fresh slice each step.
+func (t *Tape) Reset() { t.backward = t.backward[:0] }
 
 // Vec is a node in the computation graph: a value vector and its
 // gradient accumulator.

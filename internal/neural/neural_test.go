@@ -340,3 +340,104 @@ func TestSparseLinearForward(t *testing.T) {
 		t.Fatalf("empty SparseLinear = %v", empty.V)
 	}
 }
+
+// shadowLoss runs one forward/backward of a tiny linear model through
+// the given layer instance and returns the loss; gradients accumulate
+// into whatever Mats the instance holds.
+func shadowLoss(t *Tape, lin *Linear, x []float64, target float64) float64 {
+	l, node := NoiseAwareCE(t, lin.Apply(t, FromSlice(x)), target)
+	t.Backward(node)
+	return l
+}
+
+func TestShadowSharesWeightsPrivateGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lin := NewLinear(3, 2, rng)
+	sh := lin.Shadow()
+	if &sh.W.W[0] != &lin.W.W[0] || &sh.B.W[0] != &lin.B.W[0] {
+		t.Fatal("shadow must share weight storage")
+	}
+	if &sh.W.G[0] == &lin.W.G[0] {
+		t.Fatal("shadow must have a private gradient buffer")
+	}
+	x := []float64{0.4, -0.9, 1.2}
+
+	// Gradients through the shadow land only in the shadow.
+	lin.Params().ZeroGrad()
+	shadowLoss(NewTape(), sh, x, 0.7)
+	for _, g := range lin.W.G {
+		if g != 0 {
+			t.Fatal("master gradients must stay untouched by a shadow pass")
+		}
+	}
+
+	// And they are bitwise the gradients the master pass produces.
+	shadowLoss(NewTape(), lin, x, 0.7)
+	for i := range lin.W.G {
+		if lin.W.G[i] != sh.W.G[i] {
+			t.Fatalf("grad[%d]: master %v shadow %v", i, lin.W.G[i], sh.W.G[i])
+		}
+	}
+}
+
+func TestAccumGradFixedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	lin := NewLinear(2, 2, rng)
+	master := lin.Params()
+	exs := [][]float64{{0.1, 0.9}, {-1.2, 0.3}, {0.7, 0.7}}
+
+	// Reference: sequential accumulation into the master, example order.
+	master.ZeroGrad()
+	for _, x := range exs {
+		shadowLoss(NewTape(), lin, x, 0.5)
+	}
+	want := append([]float64(nil), lin.W.G...)
+
+	// Shadows filled in any order, reduced in example-index order.
+	shadows := make([]*Linear, len(exs))
+	for i := range shadows {
+		shadows[i] = lin.Shadow()
+	}
+	for _, i := range []int{2, 0, 1} { // fill order must not matter
+		shadowLoss(NewTape(), shadows[i], exs[i], 0.5)
+	}
+	master.ZeroGrad()
+	for i := range shadows {
+		master.AccumGrad(shadows[i].Params())
+	}
+	for i := range want {
+		if lin.W.G[i] != want[i] {
+			t.Fatalf("grad[%d]: accum %v sequential %v", i, lin.W.G[i], want[i])
+		}
+	}
+}
+
+func TestScaleGrad(t *testing.T) {
+	m := NewMat(1, 3)
+	m.G[0], m.G[1], m.G[2] = 2, -4, 8
+	Params{m}.ScaleGrad(0.5)
+	if m.G[0] != 1 || m.G[1] != -2 || m.G[2] != 4 {
+		t.Fatalf("ScaleGrad = %v", m.G)
+	}
+}
+
+func TestTapeResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lin := NewLinear(3, 2, rng)
+	x := []float64{0.5, -0.2, 0.8}
+
+	lin.Params().ZeroGrad()
+	shadowLoss(NewTape(), lin, x, 0.3)
+	want := append([]float64(nil), lin.W.G...)
+
+	tape := NewTape()
+	shadowLoss(tape, lin, []float64{2, 2, 2}, 0.9) // pollute, then reuse
+	tape.Reset()
+	lin.Params().ZeroGrad()
+	shadowLoss(tape, lin, x, 0.3)
+	for i := range want {
+		if lin.W.G[i] != want[i] {
+			t.Fatalf("reused tape grad[%d]: %v want %v", i, lin.W.G[i], want[i])
+		}
+	}
+}

@@ -41,6 +41,15 @@ func (m *Mat) ZeroGrad() {
 // parameters participate in the graph directly.
 func (m *Mat) AsVec() *Vec { return &Vec{V: m.W, G: m.G} }
 
+// Shadow returns a matrix sharing m's weights but carrying a private,
+// zeroed gradient buffer. A forward/backward pass through a shadow
+// reads the live weights and accumulates gradients without touching
+// the original — the per-worker state of data-parallel training.
+// Weights must not be updated while shadows are in use.
+func (m *Mat) Shadow() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, W: m.W, G: make([]float64, len(m.G))}
+}
+
 // Row returns a Vec view of one row (used by embedding lookups); the
 // view shares storage, so gradients flow into the table.
 func (m *Mat) Row(r int) *Vec {
@@ -67,6 +76,37 @@ func (ps Params) Count() int {
 		n += len(p.W)
 	}
 	return n
+}
+
+// AccumGrad adds src's gradients into ps's, position by position.
+// Both parameter lists must come from the same model (same shapes in
+// the same order); the reduction step of minibatch training calls this
+// once per example slot, in fixed example-index order, so the float
+// summation order — and therefore the resulting weights — never
+// depends on how slots were assigned to workers.
+func (ps Params) AccumGrad(src Params) {
+	if len(ps) != len(src) {
+		panic("neural: AccumGrad parameter count mismatch")
+	}
+	for k, p := range ps {
+		s := src[k]
+		if len(p.G) != len(s.G) {
+			panic("neural: AccumGrad shape mismatch")
+		}
+		for i := range p.G {
+			p.G[i] += s.G[i]
+		}
+	}
+}
+
+// ScaleGrad multiplies every gradient by s (the 1/batch averaging of
+// minibatch training).
+func (ps Params) ScaleGrad(s float64) {
+	for _, p := range ps {
+		for i := range p.G {
+			p.G[i] *= s
+		}
+	}
 }
 
 // ClipGrad scales gradients so their global L2 norm is at most c.
