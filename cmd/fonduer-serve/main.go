@@ -11,6 +11,8 @@
 //	fonduer-serve -addr :8080 -domain electronics                # empty session, ingest online
 //	fonduer-serve -store ./session -domain electronics           # serve a 'fonduer -store ./session' build
 //	fonduer-serve -store ./session -relation HasCollectorCurrent # pick one of the domain's relations
+//	fonduer-serve -backend disk -max-resident-docs 64            # disk-paged relations + parsed-doc eviction
+//	                                                             # (larger-than-RAM corpora; /meta shows counters)
 //
 // With -store, the directory layout of cmd/fonduer is understood
 // directly: a batch-built session snapshot at <store>/<relation> is
@@ -47,9 +49,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
 	epochs := flag.Int("epochs", 16, "training epochs per published view")
 	seed := flag.Int64("seed", 1, "random seed")
+	backend := flag.String("backend", "", "storage engine for the session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory)")
+	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM, evicting LRU documents and rehydrating from the session relations on demand; /meta reports the counters (0 = unlimited)")
 	flag.Parse()
 
-	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers, *batch)
+	if *backend != "" && *backend != "memory" && *backend != "disk" {
+		fmt.Fprintf(os.Stderr, "fonduer-serve: unknown -backend %q (want memory or disk)\n", *backend)
+		os.Exit(1)
+	}
+	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers, *batch, *backend, *maxResident)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
 		os.Exit(1)
@@ -72,7 +80,7 @@ func main() {
 // buildServer resolves the domain's task, resumes the session
 // snapshot when one exists under storeDir, and assembles the server.
 // resumed reports whether a snapshot was loaded.
-func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers, batch int) (*serve.Server, fonduer.Task, bool, error) {
+func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers, batch int, backend string, maxResident int) (*serve.Server, fonduer.Task, bool, error) {
 	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
 	if err != nil {
 		return nil, fonduer.Task{}, false, err
@@ -93,7 +101,11 @@ func buildServer(storeDir, domain, relation string, threshold float64, epochs in
 	// The flag value is always explicit, so ThresholdOverride is the
 	// right carrier: it expresses every value exactly, including 0
 	// (which the plain field's zero-value sentinel would snap to 0.5).
-	opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed, Workers: workers, Batch: batch}
+	opts := fonduer.Options{
+		ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed,
+		Workers: workers, Batch: batch,
+		Backend: backend, MaxResidentDocs: maxResident,
+	}
 	var st *fonduer.Store
 	snapDir := ""
 	resumed := false
@@ -119,6 +131,9 @@ func buildServer(storeDir, domain, relation string, threshold float64, epochs in
 		SnapshotDir: snapDir,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close() // release the resumed store's spill; serve.New only takes ownership on success
+		}
 		return nil, fonduer.Task{}, false, err
 	}
 	return srv, task, resumed, nil

@@ -45,7 +45,7 @@ func TestServeStoreIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, servedTask, resumed, err := buildServer(storeDir, "electronics", task.Relation, 0.5, 2, 1, 2, 4)
+	srv, servedTask, resumed, err := buildServer(storeDir, "electronics", task.Relation, 0.5, 2, 1, 2, 4, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestServeStoreIntegration(t *testing.T) {
 // an empty store directory serves an empty epoch-0 session ready for
 // online ingestion, defaulting to the domain's first relation.
 func TestServeFreshSession(t *testing.T) {
-	srv, task, resumed, err := buildServer(t.TempDir(), "electronics", "", 0.5, 2, 1, 1, 0)
+	srv, task, resumed, err := buildServer(t.TempDir(), "electronics", "", 0.5, 2, 1, 1, 0, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +98,10 @@ func TestServeFreshSession(t *testing.T) {
 
 // TestServeUnknownInputs covers flag validation.
 func TestServeUnknownInputs(t *testing.T) {
-	if _, _, _, err := buildServer("", "nosuchdomain", "", 0.5, 1, 1, 1, 0); err == nil {
+	if _, _, _, err := buildServer("", "nosuchdomain", "", 0.5, 1, 1, 1, 0, "", 0); err == nil {
 		t.Fatal("unknown domain must fail")
 	}
-	if _, _, _, err := buildServer("", "electronics", "NoSuchRelation", 0.5, 1, 1, 1, 0); err == nil {
+	if _, _, _, err := buildServer("", "electronics", "NoSuchRelation", 0.5, 1, 1, 1, 0, "", 0); err == nil {
 		t.Fatal("unknown relation must fail")
 	}
 }

@@ -38,15 +38,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "write each relation's KB as TSV into this directory")
 	store := flag.String("store", "", "persist the session's relations under this directory and resume from them when present")
+	backend := flag.String("backend", "", "storage engine for -store sessions: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory)")
+	maxResident := flag.Int("max-resident-docs", 0, "with -store, keep at most this many parsed documents hydrated in RAM, evicting LRU documents and rehydrating from the session relations on demand (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*dir, *domain, *relation, *threshold, *epochs, *seed, *out, *store); err != nil {
+	if *backend != "" && *backend != "memory" && *backend != "disk" {
+		fmt.Fprintf(os.Stderr, "fonduer: unknown -backend %q (want memory or disk)\n", *backend)
+		os.Exit(1)
+	}
+	if err := run(*dir, *domain, *relation, *threshold, *epochs, *seed, *out, *store, *backend, *maxResident); err != nil {
 		fmt.Fprintln(os.Stderr, "fonduer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir, storeDir string) error {
+func run(dir, domain, relation string, threshold float64, epochs int, seed int64, outDir, storeDir, backend string, maxResident int) error {
 	// Task definitions come from the domain's built-in tasks (the
 	// matchers, throttlers and labeling functions a user would write).
 	// Two documents suffice: only the task definitions are used.
@@ -88,7 +94,10 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 		}
 		// ThresholdOverride, not Threshold: the flag value is always
 		// explicit, and the plain field snaps 0 to the 0.5 default.
-		opts := fonduer.Options{ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed}
+		opts := fonduer.Options{
+			ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed,
+			Backend: backend, MaxResidentDocs: maxResident,
+		}
 
 		var res fonduer.Result
 		if storeDir == "" {
@@ -106,23 +115,28 @@ func run(dir, domain, relation string, threshold float64, epochs int, seed int64
 					return fmt.Errorf("resuming %s: %w", snapDir, err)
 				}
 				fmt.Printf("resumed %s session from %s: %d documents, %d candidates (no re-parse, no re-extract)\n",
-					task.Relation, snapDir, len(st.DocNames()), len(st.Candidates()))
+					task.Relation, snapDir, len(st.DocNames()), st.NumCandidates())
 			} else {
 				if err := loadCorpus(); err != nil {
 					return err
 				}
 				st = fonduer.NewStore(task, opts)
 				if err := st.AddDocuments(docs...); err != nil {
+					st.Close()
 					return err
 				}
 				if err := st.Snapshot(snapDir); err != nil {
+					st.Close()
 					return err
 				}
 				fmt.Printf("persisted %s session to %s: %d documents, %d candidates\n",
-					task.Relation, snapDir, len(st.DocNames()), len(st.Candidates()))
+					task.Relation, snapDir, len(st.DocNames()), st.NumCandidates())
 			}
 			trainNames, testNames := splitNames(st.DocNames())
 			res, err = st.RunSplit(trainNames, testNames, gold)
+			// Deterministically reclaim the disk backend's spill before
+			// moving to the next relation.
+			st.Close()
 			if err != nil {
 				return err
 			}

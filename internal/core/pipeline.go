@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
@@ -116,6 +117,23 @@ type Options struct {
 	// per example, the pre-minibatch trajectory. Results depend on
 	// Batch (it is a real hyperparameter) but never on Workers.
 	Batch int
+	// Backend selects the kbase storage engine materializing a Store's
+	// relations: "memory" (every row resident — the original
+	// representation) or "disk" (fixed-size row pages on disk behind a
+	// small LRU page cache, so relations stream instead of residing in
+	// RAM). The zero value "" is a sentinel consulting $FONDUER_BACKEND
+	// first (how CI runs the whole suite per backend) and defaulting
+	// to "memory". Results are bit-identical across backends; only the
+	// memory/latency trade differs. Ignored by store-less Run calls.
+	Backend string
+	// MaxResidentDocs bounds how many parsed documents a Store keeps
+	// hydrated in memory. Beyond the budget, least-recently-used
+	// documents are evicted — their sentence layer and candidate
+	// objects dropped — and rehydrated on demand from the persisted
+	// sentences/candidates relations (resume fidelity is the proven
+	// invariant: rehydrated state yields bit-identical results). <= 0
+	// means unlimited (no eviction). Ignored by store-less Run calls.
+	MaxResidentDocs int
 }
 
 func (o *Options) defaults() {
@@ -137,6 +155,13 @@ func (o *Options) defaults() {
 	}
 	if o.MinFeatureCount == 0 {
 		o.MinFeatureCount = 2
+	}
+	if o.Backend == "" {
+		if env := os.Getenv("FONDUER_BACKEND"); env != "" {
+			o.Backend = env
+		} else {
+			o.Backend = "memory"
+		}
 	}
 }
 

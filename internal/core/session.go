@@ -72,8 +72,11 @@ func (s *DevSession) Store() *Store { return s.store }
 // so DevSession and Run agree.
 func DocumentScopeDefault() candidates.Scope { return candidates.DocumentScope }
 
-// Candidates returns the session's extracted candidates.
-func (s *DevSession) Candidates() []*candidates.Candidate { return s.store.Candidates() }
+// Candidates returns the session's extracted candidates. Over an
+// evicting store (Options.MaxResidentDocs > 0) the list is fully
+// rehydrated — unlike Store.Candidates, it never contains nil
+// entries.
+func (s *DevSession) Candidates() []*candidates.Candidate { return s.store.sessionCandidates() }
 
 // NumLFs returns the number of labeling functions currently installed.
 func (s *DevSession) NumLFs() int { return s.store.NumLFs() }
@@ -138,7 +141,7 @@ func (s *DevSession) EstimateAccuracy() float64 {
 // wrong — the error-analysis view driving the next LF iteration.
 func (s *DevSession) Errors() []*candidates.Candidate {
 	marg := s.Marginals()
-	cands := s.store.Candidates()
+	cands := s.store.sessionCandidates()
 	var out []*candidates.Candidate
 	for id, truth := range s.holdout {
 		if id >= 0 && id < len(marg) && (marg[id] > 0.5) != truth {

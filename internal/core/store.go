@@ -67,6 +67,18 @@ type Store struct {
 	docs   []*storeDoc
 	byName map[string]*storeDoc
 
+	// Parsed-document eviction state (opts.MaxResidentDocs > 0): how
+	// many documents are currently hydrated, the high-water mark of
+	// that count as sampled after every budget enforcement, the LRU
+	// clock stamping storeDoc.lastUse, and a lazy min-heap of
+	// (doc, tick) touch records for O(log n) victim selection
+	// (stale entries — re-touched or already-evicted docs — are
+	// skipped at pop time).
+	resident     int
+	peakResident int
+	lruTick      uint64
+	lruHeap      []lruEntry
+
 	// Global candidate-indexed relations; candidate IDs are assigned
 	// densely in ingestion order, so index i is candidate ID i.
 	cands []*candidates.Candidate
@@ -91,19 +103,43 @@ type Store struct {
 }
 
 // storeDoc is one ingested document's shard of the store relations.
+// Under parsed-document eviction the heavy state — the parsed
+// document DAG and the candidate objects spanning it — may be nil
+// (evicted); everything needed to rehydrate it lives in the
+// sentences/candidates relations, keyed by name, and in the
+// candidate-ID range [candFirst, candFirst+candCount).
 type storeDoc struct {
-	doc    *datamodel.Document
+	doc    *datamodel.Document // nil when evicted
+	name   string
+	format string
 	pos    int
-	cands  []*candidates.Candidate
-	counts map[string]int // per-doc FeatureCounts shard
+	cands  []*candidates.Candidate // nil when evicted
+	counts map[string]int          // per-doc FeatureCounts shard
 	stats  features.CacheStats
+
+	candFirst, candCount int
+	lastUse              uint64 // Store.lruTick stamp of the last hydration-requiring use
+
+	// Row ranges of this document's shard inside the sentences and
+	// candidates relations (rows are appended contiguously per
+	// document and those relations are never deleted from), letting
+	// rehydration page in exactly the document's rows instead of
+	// filter-scanning whole relations. first == -1 means "layout
+	// unknown" (a resumed snapshot with non-contiguous rows) and
+	// falls back to the filter scan.
+	sentRowFirst, sentRowCount int
+	candRowFirst, candRowCount int
 }
 
 // NewStore creates an empty session store for a task. opts fixes the
 // session's featurization and supervision configuration (see the type
 // comment); opts.LFs, when non-nil, overrides task.LFs as the
 // session's labeling functions (an empty non-nil slice starts the
-// session with none, the DevSession entry state).
+// session with none, the DevSession entry state). opts.Backend picks
+// the storage engine materializing the relations; an unknown backend
+// panics (the CLIs validate the flag, and the Options field documents
+// the valid values). Disk-backed stores should be Closed to reclaim
+// their spill directory promptly; a GC finalizer backstops leaks.
 func NewStore(task Task, opts Options) *Store {
 	opts.defaults()
 	s := &Store{
@@ -119,7 +155,7 @@ func NewStore(task Task, opts Options) *Store {
 	if opts.LFs != nil {
 		s.lfs = append(s.lfs[:0], opts.LFs...)
 	}
-	s.db = s.newStoreDB()
+	s.db = s.newStoreDB(newStoreEngine(opts))
 	s.writeMeta()
 	return s
 }
@@ -128,16 +164,29 @@ func NewStore(task Task, opts Options) *Store {
 func (s *Store) Task() Task { return s.task }
 
 // Candidates returns the ingested candidates in global ID order.
+// Under parsed-document eviction (Options.MaxResidentDocs > 0),
+// entries belonging to evicted documents are nil — use NumCandidates
+// for counting, or build a StoreView, which hydrates every candidate
+// into an immutable snapshot.
 func (s *Store) Candidates() []*candidates.Candidate { return s.cands }
+
+// NumCandidates returns the number of ingested candidates, hydrated
+// or not.
+func (s *Store) NumCandidates() int { return len(s.cands) }
 
 // DocNames returns the ingested document names in ingestion order.
 func (s *Store) DocNames() []string {
 	out := make([]string, len(s.docs))
 	for i, sd := range s.docs {
-		out[i] = sd.doc.Name
+		out[i] = sd.name
 	}
 	return out
 }
+
+// Close releases the store's storage-engine resources (the disk
+// backend's spill directory). The store is unusable afterwards;
+// snapshots taken earlier are unaffected.
+func (s *Store) Close() error { return s.db.Close() }
 
 // NumLFs returns the number of installed labeling functions.
 func (s *Store) NumLFs() int { return len(s.lfs) }
@@ -205,9 +254,13 @@ func (s *Store) endMutation(changed bool) {
 // plus the new candidates' own rows — are (re-)materialized.
 //
 // Ingesting the same *Document pointer again is a no-op; a different
-// document with an already-ingested name is an error. The resulting
-// store state is observably equivalent regardless of how a corpus is
-// batched across AddDocuments calls.
+// document with an already-ingested name is an error. Under eviction
+// (MaxResidentDocs > 0) the no-op check is by content against the
+// persisted sentence rows instead of by pointer — the prior ingest
+// may have been evicted or rehydrated into a fresh object — so
+// idempotent re-ingestion keeps working across evictions. The
+// resulting store state is observably equivalent regardless of how a
+// corpus is batched across AddDocuments calls.
 func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	s.beginMutation()
 	changed := false
@@ -217,6 +270,15 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	for _, d := range docs {
 		if prev, ok := s.byName[d.Name]; ok {
 			if prev.doc == d {
+				continue
+			}
+			// Under eviction pointer identity is meaningless (the prior
+			// ingest may have been evicted, or rehydrated into a fresh
+			// object), so the idempotent-re-ingestion contract is kept
+			// by comparing contents against the persisted sentence
+			// rows: an identical document is a no-op, a different one
+			// under the same name is refused.
+			if s.opts.MaxResidentDocs > 0 && s.sameDocContent(prev, d) {
 				continue
 			}
 			return fmt.Errorf("core: document %q already ingested with different contents", d.Name)
@@ -285,7 +347,11 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	newDocs := make([]*storeDoc, 0, len(delta))
 	vi := 0
 	for i, d := range delta {
-		sd := &storeDoc{doc: d, pos: len(s.docs), cands: perDoc[i], counts: countsPerDoc[i], stats: statsPerDoc[i]}
+		sd := &storeDoc{
+			doc: d, name: d.Name, format: d.Format, pos: len(s.docs),
+			cands: perDoc[i], counts: countsPerDoc[i], stats: statsPerDoc[i],
+			candFirst: len(s.cands), candCount: len(perDoc[i]),
+		}
 		s.docs = append(s.docs, sd)
 		s.byName[d.Name] = sd
 		newDocs = append(newDocs, sd)
@@ -336,11 +402,18 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 		}
 	}
 
-	// ---- Persist the delta into the kbase relations.
+	// ---- Persist the delta into the kbase relations, enforcing the
+	// eviction budget per document: once a document's relations are
+	// materialized it is evictable, so the store never retains more
+	// than MaxResidentDocs hydrated documents — even mid-batch.
+	// Mirroring runs after the index/matrix section so a persistence
+	// error (e.g. a full spill disk) leaves the in-memory session
+	// fully self-consistent; only the kbase mirror is then behind.
 	for _, sd := range newDocs {
 		if err := s.mirrorDoc(sd); err != nil {
 			return err
 		}
+		s.accountHydrated(sd)
 	}
 	return nil
 }
@@ -353,7 +426,7 @@ func (s *Store) AddLF(lf labeling.LF) int {
 	defer s.endMutation(true)
 	col := len(s.lfs)
 	s.lfs = append(s.lfs, lf)
-	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
+	votes := s.columnVotes(lf)
 	for i := range s.votes {
 		s.votes[i] = append(s.votes[i], votes[i])
 	}
@@ -373,7 +446,7 @@ func (s *Store) EditLF(col int, lf labeling.LF) error {
 	s.beginMutation()
 	defer s.endMutation(true)
 	s.lfs[col] = lf
-	votes := labeling.ParallelColumnVotes(lf, s.cands, s.opts.Workers)
+	votes := s.columnVotes(lf)
 	for i := range s.votes {
 		s.votes[i][col] = votes[i]
 	}
@@ -386,7 +459,9 @@ func (s *Store) EditLF(col int, lf labeling.LF) error {
 }
 
 // splitView assembles one split's staged relations by reading the
-// store: candidates in name-list document order, each row of the
+// store: candidates in name-list document order (evicted documents
+// rehydrate through the LRU budget; the split holds its own candidate
+// references, so later evictions cannot disturb it), each row of the
 // materialized Features matrix translated back to feature names, and
 // the split's summed cache statistics.
 func (s *Store) splitView(names []string) (stagedSplit, error) {
@@ -396,7 +471,11 @@ func (s *Store) splitView(names []string) (stagedSplit, error) {
 		if !ok {
 			return sp, fmt.Errorf("core: document %q is not in the store", name)
 		}
-		for _, c := range sd.cands {
+		cands, err := s.docCandidates(sd)
+		if err != nil {
+			return sp, err
+		}
+		for _, c := range cands {
 			row := s.matrix.Row(c.ID)
 			nm := make([]string, len(row))
 			for k, e := range row {

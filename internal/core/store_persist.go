@@ -6,7 +6,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/candidates"
 	"repro/internal/datamodel"
 	"repro/internal/features"
 	"repro/internal/kbase"
@@ -340,9 +339,25 @@ func rebuildDoc(name, format string, rows []sentRow) (*datamodel.Document, error
 	return doc, nil
 }
 
-// newStoreDB creates the empty relation set.
-func (s *Store) newStoreDB() *kbase.DB {
-	db := kbase.NewDB()
+// newStoreEngine resolves the session's storage engine from the
+// (defaulted) options. An unknown backend name panics — the Options
+// field documents the valid values and the CLIs validate their flag —
+// as does a failure to create the disk engine's spill directory
+// (environmental, unrecoverable).
+func newStoreEngine(opts Options) kbase.Engine {
+	engine, err := kbase.NewEngine(opts.Backend, "")
+	if err != nil {
+		// Name the env var: an unset Options.Backend resolves through
+		// $FONDUER_BACKEND, so a typo there surfaces here with no flag
+		// in sight.
+		panic("core: " + err.Error() + " (from Options.Backend; the empty value consults $FONDUER_BACKEND)")
+	}
+	return engine
+}
+
+// newStoreDB creates the empty relation set over the engine.
+func (s *Store) newStoreDB(engine kbase.Engine) *kbase.DB {
+	db := kbase.NewDBWith(engine)
 	for _, schema := range storeSchemas {
 		if _, err := db.Create(schema); err != nil {
 			panic("core: " + err.Error())
@@ -389,13 +404,21 @@ func (s *Store) configMeta() map[string]string {
 }
 
 // writeMeta re-materializes the meta relation (delete + insert, keyed
-// rows).
+// rows, sorted key order so the relation's row order — and with it
+// the snapshot's meta.tsv bytes — is deterministic across sessions
+// and backends).
 func (s *Store) writeMeta() {
 	tbl := s.db.Table(tblMeta)
-	for k, v := range s.configMeta() {
+	meta := s.configMeta()
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		key := k
 		tbl.DeleteWhere(func(tp kbase.Tuple) bool { return tp[0].(string) == key })
-		if _, err := tbl.Insert(kbase.Tuple{k, v}); err != nil {
+		if _, err := tbl.Insert(kbase.Tuple{k, meta[k]}); err != nil {
 			panic("core: " + err.Error())
 		}
 	}
@@ -412,6 +435,7 @@ func (s *Store) mirrorDoc(sd *storeDoc) error {
 	if err := ins(tblDocuments, kbase.Tuple{sd.pos, name, sd.doc.Format}); err != nil {
 		return err
 	}
+	sd.sentRowFirst = s.db.Table(tblSentences).Len()
 	for _, sent := range sd.doc.Sentences() {
 		tp, err := sentenceTuple(name, sent)
 		if err != nil {
@@ -421,6 +445,8 @@ func (s *Store) mirrorDoc(sd *storeDoc) error {
 			return err
 		}
 	}
+	sd.sentRowCount = s.db.Table(tblSentences).Len() - sd.sentRowFirst
+	sd.candRowFirst = s.db.Table(tblCands).Len()
 	for _, c := range sd.cands {
 		for a, m := range c.Mentions {
 			tp := kbase.Tuple{c.ID, a, m.TypeName, name, m.Span.Sentence.Position, m.Span.Start, m.Span.End}
@@ -441,6 +467,7 @@ func (s *Store) mirrorDoc(sd *storeDoc) error {
 			}
 		}
 	}
+	sd.candRowCount = s.db.Table(tblCands).Len() - sd.candRowFirst
 	feats := make([]string, 0, len(sd.counts))
 	for fn := range sd.counts {
 		feats = append(feats, fn)
@@ -494,11 +521,19 @@ func IsStoreDir(dir string) bool { return kbase.IsSnapshot(dir) }
 // knobs (Seed, Epochs, Threshold, LR, Workers, ...) are taken fresh
 // from opts.
 func OpenStore(dir string, task Task, opts Options) (*Store, error) {
-	db, err := kbase.LoadDB(dir)
+	opts.defaults()
+	db, err := kbase.LoadDBWith(dir, newStoreEngine(opts))
 	if err != nil {
 		return nil, err
 	}
-	opts.defaults()
+	// Any failure past this point must release the engine (the disk
+	// backend holds a spill directory).
+	ok := false
+	defer func() {
+		if !ok {
+			db.Close()
+		}
+	}()
 	s := &Store{
 		task:    task,
 		opts:    opts,
@@ -530,8 +565,15 @@ func OpenStore(dir string, task Task, opts Options) (*Store, error) {
 		}
 	}
 
-	// Rebuild the documents' sentence layer from the sentences
-	// relation.
+	// Rebuild the corpus one document at a time, enforcing the
+	// parsed-document eviction budget as we go. A first pass over the
+	// sentences and candidates relations records only each document's
+	// contiguous row range and candidate-ID range — no payloads are
+	// decoded or retained — then every document pages in exactly its
+	// own rows through rebuildDocState (the same path eviction
+	// rehydration uses), so resuming a larger-than-RAM session peaks
+	// at one document's rows plus the resident budget, never the
+	// whole corpus.
 	type docRow struct {
 		pos          int
 		name, format string
@@ -542,93 +584,110 @@ func OpenStore(dir string, task Task, opts Options) (*Store, error) {
 		return true
 	})
 	sort.Slice(docRows, func(i, j int) bool { return docRows[i].pos < docRows[j].pos })
-	sents := map[string][]sentRow{}
-	var sentErr error
-	db.Table(tblSentences).Scan(func(tp kbase.Tuple) bool {
-		doc := tp[0].(string)
-		r, err := decodeSentence(tp)
-		if err != nil {
-			sentErr = fmt.Errorf("core: document %q: %w", doc, err)
-			return false
+
+	type rowRange struct {
+		first, count, last int
+		contig             bool
+	}
+	track := func(ranges map[string]*rowRange, name string, pos int) *rowRange {
+		rr := ranges[name]
+		if rr == nil {
+			rr = &rowRange{first: pos, last: pos - 1, contig: true}
+			ranges[name] = rr
 		}
-		sents[doc] = append(sents[doc], r)
+		if pos != rr.last+1 {
+			rr.contig = false // interleaved snapshot: fall back to filter scans
+		}
+		rr.count++
+		rr.last = pos
+		return rr
+	}
+	sentR := map[string]*rowRange{}
+	pos := 0
+	db.Table(tblSentences).Scan(func(tp kbase.Tuple) bool {
+		track(sentR, tp[0].(string), pos)
+		pos++
 		return true
 	})
-	if sentErr != nil {
-		return nil, sentErr
-	}
+	candR := map[string]*rowRange{}
+	idMax := map[string]int{}
+	maxCand := -1
+	pos = 0
+	db.Table(tblCands).Scan(func(tp kbase.Tuple) bool {
+		name := tp[3].(string)
+		track(candR, name, pos)
+		id := int(tp[0].(int64))
+		if cur, ok := idMax[name]; !ok || id > cur {
+			idMax[name] = id
+		}
+		if id > maxCand {
+			maxCand = id
+		}
+		pos++
+		return true
+	})
+
+	// rebuildDocState reads through s.db; the relations are fully
+	// loaded, so it can be bound before the in-memory state exists.
+	s.db = db
+	numLFs, _ := strconv.Atoi(meta["num_lfs"])
+	nextID := 0
 	for i, dr := range docRows {
 		if dr.pos != i {
 			return nil, fmt.Errorf("core: documents relation has non-dense position %d at row %d", dr.pos, i)
 		}
-		rows := sents[dr.name]
-		sort.Slice(rows, func(a, b int) bool { return rows[a].pos < rows[b].pos })
-		doc, err := rebuildDoc(dr.name, dr.format, rows)
+		sd := &storeDoc{
+			name: dr.name, format: dr.format, pos: i, counts: map[string]int{},
+			sentRowFirst: -1, candRowFirst: -1,
+		}
+		if rr := sentR[dr.name]; rr == nil {
+			sd.sentRowFirst, sd.sentRowCount = 0, 0
+		} else if rr.contig {
+			sd.sentRowFirst, sd.sentRowCount = rr.first, rr.count
+		}
+		// The store assigns candidate IDs densely in document order:
+		// this document's candidates are exactly [nextID, idMax];
+		// buildDocCandidates (via rebuildDocState) validates density
+		// and spans, so gaps, overlaps and cross-document candidates
+		// all surface as errors.
+		count := 0
+		if rr := candR[dr.name]; rr != nil {
+			if rr.contig {
+				sd.candRowFirst, sd.candRowCount = rr.first, rr.count
+			}
+			mx := idMax[dr.name]
+			if mx < nextID {
+				return nil, fmt.Errorf("core: candidate %d of %q out of document order (spans documents?)", mx, dr.name)
+			}
+			count = mx - nextID + 1
+		} else {
+			sd.candRowFirst, sd.candRowCount = 0, 0
+		}
+		sd.candFirst, sd.candCount = nextID, count
+		doc, cands, err := s.rebuildDocState(sd)
 		if err != nil {
 			return nil, err
 		}
-		sd := &storeDoc{doc: doc, pos: i, counts: map[string]int{}}
+		sd.doc = doc
+		sd.cands = cands
+		for _, c := range cands {
+			s.cands = append(s.cands, c)
+			s.names = append(s.names, nil)
+			s.votes = append(s.votes, make([]int8, numLFs))
+		}
+		nextID += count
 		s.docs = append(s.docs, sd)
 		s.byName[dr.name] = sd
+		s.accountHydrated(sd)
+		delete(sentR, dr.name)
+		delete(candR, dr.name)
+		delete(idMax, dr.name)
 	}
-
-	// Rebuild candidates from their mention spans.
-	type mentionRow struct {
-		arg, sent, start, end int
-		typ, doc              string
+	if nextID != maxCand+1 {
+		return nil, fmt.Errorf("core: candidates relation has no rows for candidate %d", nextID)
 	}
-	mentions := map[int][]mentionRow{}
-	maxCand := -1
-	db.Table(tblCands).Scan(func(tp kbase.Tuple) bool {
-		id := int(tp[0].(int64))
-		mentions[id] = append(mentions[id], mentionRow{
-			arg: int(tp[1].(int64)), typ: tp[2].(string), doc: tp[3].(string),
-			sent: int(tp[4].(int64)), start: int(tp[5].(int64)), end: int(tp[6].(int64)),
-		})
-		if id > maxCand {
-			maxCand = id
-		}
-		return true
-	})
-	numLFs, _ := strconv.Atoi(meta["num_lfs"])
-	for id := 0; id <= maxCand; id++ {
-		rows, ok := mentions[id]
-		if !ok {
-			return nil, fmt.Errorf("core: candidates relation has no rows for candidate %d", id)
-		}
-		sort.Slice(rows, func(a, b int) bool { return rows[a].arg < rows[b].arg })
-		c := &candidates.Candidate{ID: id}
-		var sd *storeDoc
-		for a, r := range rows {
-			if r.arg != a {
-				return nil, fmt.Errorf("core: candidate %d has non-dense argument %d", id, r.arg)
-			}
-			owner, ok := s.byName[r.doc]
-			if !ok {
-				return nil, fmt.Errorf("core: candidate %d references unknown document %q", id, r.doc)
-			}
-			if sd == nil {
-				sd = owner
-			} else if sd != owner {
-				return nil, fmt.Errorf("core: candidate %d spans documents", id)
-			}
-			docSents := owner.doc.Sentences()
-			if r.sent < 0 || r.sent >= len(docSents) {
-				return nil, fmt.Errorf("core: candidate %d references missing sentence %d of %q", id, r.sent, r.doc)
-			}
-			sent := docSents[r.sent]
-			if r.start < 0 || r.end > len(sent.Words) || r.start >= r.end {
-				return nil, fmt.Errorf("core: candidate %d has invalid span [%d,%d) in %q", id, r.start, r.end, r.doc)
-			}
-			c.Mentions = append(c.Mentions, candidates.Mention{
-				TypeName: r.typ,
-				Span:     datamodel.Span{Sentence: sent, Start: r.start, End: r.end},
-			})
-		}
-		s.cands = append(s.cands, c)
-		s.names = append(s.names, nil)
-		s.votes = append(s.votes, make([]int8, numLFs))
-		sd.cands = append(sd.cands, c)
+	for name := range candR {
+		return nil, fmt.Errorf("core: candidates relation references unknown document %q", name)
 	}
 
 	// Features relation: per-candidate names in seq order.
@@ -708,6 +767,6 @@ func OpenStore(dir string, task Task, opts Options) (*Store, error) {
 			}
 		}
 	}
-	s.db = db
+	ok = true
 	return s, nil
 }

@@ -62,6 +62,10 @@ type StoreView struct {
 	// counts (session metadata).
 	kb        *kbase.Table
 	tableRows map[string]int
+
+	// storage captures the store's backend/eviction counters at build
+	// time — the operator-facing /meta section.
+	storage StorageStats
 }
 
 // View builds an immutable snapshot of the store at its current
@@ -82,13 +86,22 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 	defer s.endMutation(false)
 
 	names := s.DocNames()
+	// The view needs every candidate's mention spans (serving and
+	// ad-hoc classification read them), so evicted documents are
+	// rehydrated here — through the LRU budget — into the snapshot.
+	// The view keeps its own references: later store evictions cannot
+	// reach into a published epoch.
+	cands, err := s.hydratedCandidates()
+	if err != nil {
+		return nil, err
+	}
 	v := &StoreView{
 		epoch:            s.epoch,
 		relation:         s.task.Relation,
 		task:             s.task,
 		opts:             s.opts,
 		docNames:         names,
-		cands:            append([]*candidates.Candidate(nil), s.cands...),
+		cands:            cands,
 		sessionIndex:     s.dict.Clone(),
 		pendingFeatures:  len(s.pending),
 		distinctFeatures: len(s.counts),
@@ -122,6 +135,8 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 	v.marginals = art.marginals
 
 	// Materialize this epoch's knowledge base against the task schema.
+	// The table is always in-memory: a published epoch must stay
+	// readable lock-free after the store (and its spill) moves on.
 	v.kb = kbase.NewTable(s.task.Schema)
 	for _, t := range res.Predicted {
 		tup := make(kbase.Tuple, len(t.Values))
@@ -132,8 +147,16 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 			return nil, fmt.Errorf("core: materializing KB for view: %w", err)
 		}
 	}
+	// Sampled last, so the epoch's counters include the view build's
+	// own rehydration and page-cache traffic.
+	v.storage = s.StorageStats()
 	return v, nil
 }
+
+// StorageStats returns the store's backend/eviction counters as of
+// this epoch's view build (backend kind, resident/peak/max document
+// counts, disk pages, page-cache hit rate).
+func (v *StoreView) StorageStats() StorageStats { return v.storage }
 
 // Epoch returns the store mutation epoch the view was built at.
 func (v *StoreView) Epoch() uint64 { return v.epoch }

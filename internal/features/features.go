@@ -183,8 +183,17 @@ func (e *Extractor) computeMentionFeatures(sp datamodel.Span) []Feature {
 		if sent.HTMLTag != "" {
 			add(Structural, "TAG_%s", sent.HTMLTag)
 		}
-		for k, v := range sent.HTMLAttrs {
-			if v == "" {
+		// Sorted keys: feature emission order must be deterministic —
+		// the persisted Features relation keeps per-candidate emission
+		// order (its seq column), and cross-backend snapshot
+		// byte-identity quantifies over it.
+		attrKeys := make([]string, 0, len(sent.HTMLAttrs))
+		for k := range sent.HTMLAttrs {
+			attrKeys = append(attrKeys, k)
+		}
+		sort.Strings(attrKeys)
+		for _, k := range attrKeys {
+			if v := sent.HTMLAttrs[k]; v == "" {
 				add(Structural, "HTML_ATTR_%s", k)
 			} else {
 				add(Structural, "HTML_ATTR_%s=%s", k, v)

@@ -1,0 +1,208 @@
+package kbase
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Backend is the pluggable row-storage engine behind a Table. A Table
+// owns exactly one backend and layers relational semantics on top of
+// it — schema/type checking, tuple normalization, and set semantics
+// via a compact hash index — so every backend only has to store an
+// ordered row sequence.
+//
+// The two implementations are the in-memory engine (rows in a slice,
+// the original representation) and the disk-paged engine (fixed-size
+// row pages on disk behind a small LRU page cache, so a table's
+// resident footprint is the cache plus one partial tail page no
+// matter how many rows it holds).
+//
+// Contract, relied on by Table and by the cross-backend equivalence
+// tests:
+//
+//   - Append preserves insertion order; Scan, Page, Snapshot and Get
+//     observe rows in exactly that order.
+//   - Get and Scan hand out *borrowed* tuples that must not be
+//     retained or modified (Table's cloning read paths detach them).
+//   - DeleteWhere keeps survivors in relative order and re-packs
+//     positions densely (row i is the i-th surviving row).
+//   - Snapshot streams the rows in the escaped-TSV row encoding of
+//     WriteTSV, so a table's serialized bytes are identical across
+//     backends holding the same rows in the same order.
+type Backend interface {
+	// Kind names the backend ("memory" or "disk").
+	Kind() string
+	// Len returns the number of stored rows.
+	Len() int
+	// Append stores a normalized tuple at position Len().
+	Append(tp Tuple) error
+	// Get returns the row at position i (borrowed; do not retain or
+	// modify). It panics when i is out of range — positions come from
+	// the Table's index and are trusted.
+	Get(i int) Tuple
+	// Scan calls fn for each row in insertion order until fn returns
+	// false. The tuple is borrowed.
+	Scan(fn func(Tuple) bool)
+	// Page returns detached clones of up to limit rows starting at
+	// offset; limit <= 0 means "to the end", offsets past the end
+	// return nil.
+	Page(offset, limit int) []Tuple
+	// DeleteWhere removes rows satisfying pred, returning how many
+	// were removed.
+	DeleteWhere(pred func(Tuple) bool) int
+	// Snapshot writes the rows (no header) in the WriteTSV row
+	// encoding.
+	Snapshot(w io.Writer) error
+	// Stats reports the backend's paging counters (zero-valued for
+	// the in-memory engine).
+	Stats() BackendStats
+	// Close releases backend resources (disk pages). The backend is
+	// unusable afterwards.
+	Close() error
+}
+
+// BackendStats are one backend's paging counters.
+type BackendStats struct {
+	// Pages counts full row pages currently on disk.
+	Pages int
+	// CacheHits / CacheMisses count page-cache lookups. A miss reads
+	// and decodes one page file.
+	CacheHits, CacheMisses int64
+}
+
+// Engine creates backends — one per table — sharing a storage policy
+// (and, for the disk engine, a spill directory).
+type Engine interface {
+	// Kind names the engine; every backend it creates reports the
+	// same kind.
+	Kind() string
+	// NewBackend creates an empty backend for one table.
+	NewBackend(schema Schema) (Backend, error)
+	// Close releases engine-wide resources. Backends created by the
+	// engine must be closed first.
+	Close() error
+}
+
+// NewEngine resolves an engine kind: "" or "memory" is the in-memory
+// engine, "disk" the disk-paged engine with default page geometry
+// spilling under dir (a fresh temporary directory when dir is empty).
+func NewEngine(kind, dir string) (Engine, error) {
+	switch kind {
+	case "", "memory":
+		return MemoryEngine{}, nil
+	case "disk":
+		return NewDiskEngine(dir, 0, 0)
+	default:
+		return nil, fmt.Errorf("kbase: unknown backend %q (want memory or disk)", kind)
+	}
+}
+
+// MemoryEngine creates in-memory backends — the original
+// representation: every row resident, zero I/O.
+type MemoryEngine struct{}
+
+// Kind returns "memory".
+func (MemoryEngine) Kind() string { return "memory" }
+
+// NewBackend creates an empty in-memory backend.
+func (MemoryEngine) NewBackend(Schema) (Backend, error) { return &memoryBackend{}, nil }
+
+// Close is a no-op.
+func (MemoryEngine) Close() error { return nil }
+
+// memoryBackend stores rows in a slice.
+type memoryBackend struct {
+	tuples []Tuple
+}
+
+func (b *memoryBackend) Kind() string { return "memory" }
+
+func (b *memoryBackend) Len() int { return len(b.tuples) }
+
+func (b *memoryBackend) Append(tp Tuple) error {
+	b.tuples = append(b.tuples, tp)
+	return nil
+}
+
+func (b *memoryBackend) Get(i int) Tuple { return b.tuples[i] }
+
+func (b *memoryBackend) Scan(fn func(Tuple) bool) {
+	for _, tp := range b.tuples {
+		if !fn(tp) {
+			return
+		}
+	}
+}
+
+func (b *memoryBackend) Page(offset, limit int) []Tuple {
+	lo, hi := clipPage(len(b.tuples), offset, limit)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Tuple, 0, hi-lo)
+	for _, tp := range b.tuples[lo:hi] {
+		out = append(out, tp.Clone())
+	}
+	return out
+}
+
+func (b *memoryBackend) DeleteWhere(pred func(Tuple) bool) int {
+	kept := b.tuples[:0]
+	deleted := 0
+	for _, tp := range b.tuples {
+		if pred(tp) {
+			deleted++
+			continue
+		}
+		kept = append(kept, tp)
+	}
+	// Clear the re-packed slice's tail so deleted rows are collectable.
+	for i := len(kept); i < len(b.tuples); i++ {
+		b.tuples[i] = nil
+	}
+	b.tuples = kept
+	return deleted
+}
+
+func (b *memoryBackend) Snapshot(w io.Writer) error {
+	for _, tp := range b.tuples {
+		if _, err := io.WriteString(w, encodeTupleTSV(tp)+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *memoryBackend) Stats() BackendStats { return BackendStats{} }
+
+func (b *memoryBackend) Close() error {
+	b.tuples = nil
+	return nil
+}
+
+// clipPage clips [offset, offset+limit) to n rows, comparing limit
+// against the remaining window rather than computing offset+limit,
+// which a huge caller-supplied limit would overflow.
+func clipPage(n, offset, limit int) (lo, hi int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= n {
+		return n, n
+	}
+	hi = n
+	if limit > 0 && limit < hi-offset {
+		hi = offset + limit
+	}
+	return offset, hi
+}
+
+// hashKey hashes a canonical tuple key for the Table's dedup index.
+// Positions sharing a hash are verified against the stored row, so
+// collisions cost a row fetch, never a correctness failure.
+func hashKey(k string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, k)
+	return h.Sum64()
+}

@@ -1,0 +1,371 @@
+package kbase
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// forEachBackend runs the same test body against every storage
+// engine, so Table semantics (set membership, insertion order,
+// pagination, deletion, snapshots) are proven identical across the
+// in-memory and disk-paged backends. The disk engine uses a tiny page
+// size so a handful of rows already spans several pages and a partial
+// tail.
+func forEachBackend(t *testing.T, fn func(t *testing.T, engine Engine)) {
+	t.Helper()
+	t.Run("memory", func(t *testing.T) { fn(t, MemoryEngine{}) })
+	t.Run("disk", func(t *testing.T) {
+		engine, err := NewDiskEngine(filepath.Join(t.TempDir(), "spill"), 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer engine.Close()
+		fn(t, engine)
+	})
+}
+
+// newBackedTable creates one table through the engine (via a DB, the
+// production construction path).
+func newBackedTable(t *testing.T, engine Engine, schema Schema) *Table {
+	t.Helper()
+	be, err := engine.NewBackend(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTableWith(schema, be)
+}
+
+// fillParts inserts n rows ("p<i>", i) in order.
+func fillParts(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		added, err := tbl.Insert(Tuple{fmt.Sprintf("p%02d", i), i})
+		if err != nil || !added {
+			t.Fatalf("insert %d: added=%v err=%v", i, added, err)
+		}
+	}
+}
+
+func partsOf(rows []Tuple) []string {
+	out := make([]string, len(rows))
+	for i, tp := range rows {
+		out[i] = tp[0].(string)
+	}
+	return out
+}
+
+func TestBackendSetSemantics(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, engine Engine) {
+		tbl := newBackedTable(t, engine, mustSchema(t, "r", "part", "n:integer"))
+		fillParts(t, tbl, 10)
+		if tbl.Len() != 10 {
+			t.Fatalf("len = %d", tbl.Len())
+		}
+		// Duplicates (with int normalization) are no-ops.
+		if added, err := tbl.Insert(Tuple{"p03", int64(3)}); err != nil || added {
+			t.Fatalf("dup insert: added=%v err=%v", added, err)
+		}
+		for i := 0; i < 10; i++ {
+			if !tbl.Contains(Tuple{fmt.Sprintf("p%02d", i), i}) {
+				t.Fatalf("Contains(p%02d) = false", i)
+			}
+		}
+		if tbl.Contains(Tuple{"p99", 99}) || tbl.Contains(Tuple{"p01"}) {
+			t.Fatal("phantom membership")
+		}
+		// Exact-tuple delete re-packs and keeps the rest queryable.
+		if !tbl.Delete(Tuple{"p04", 4}) {
+			t.Fatal("Delete(p04) = false")
+		}
+		if tbl.Delete(Tuple{"p04", 4}) {
+			t.Fatal("second Delete(p04) must be false")
+		}
+		if tbl.Len() != 9 || tbl.Contains(Tuple{"p04", 4}) {
+			t.Fatalf("post-delete len=%d contains=%v", tbl.Len(), tbl.Contains(Tuple{"p04", 4}))
+		}
+		want := []string{"p00", "p01", "p02", "p03", "p05", "p06", "p07", "p08", "p09"}
+		got := partsOf(tbl.Tuples())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order after delete: got %v", got)
+			}
+		}
+		// The deleted tuple can be re-inserted (index rebuilt correctly).
+		if added, err := tbl.Insert(Tuple{"p04", 4}); err != nil || !added {
+			t.Fatalf("re-insert after delete: added=%v err=%v", added, err)
+		}
+	})
+}
+
+func TestBackendPageEdgeCases(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, engine Engine) {
+		tbl := newBackedTable(t, engine, mustSchema(t, "r", "part", "n:integer"))
+
+		// Empty table: every window is empty.
+		if got := tbl.Page(0, 0); got != nil {
+			t.Fatalf("empty Page(0,0) = %v", got)
+		}
+		if got := tbl.Page(3, 5); got != nil {
+			t.Fatalf("empty Page(3,5) = %v", got)
+		}
+
+		fillParts(t, tbl, 10) // spans 2 full disk pages + tail at pageRows=4
+		cases := []struct {
+			offset, limit int
+			want          []string
+		}{
+			{0, 3, []string{"p00", "p01", "p02"}},
+			{3, 4, []string{"p03", "p04", "p05", "p06"}}, // crosses a page boundary
+			{8, 0, []string{"p08", "p09"}},               // limit 0 = to the end
+			{8, -1, []string{"p08", "p09"}},              // negative limit = to the end
+			{9, 5, []string{"p09"}},                      // window clipped at the end
+			{10, 1, nil},                                 // offset == len
+			{99, 2, nil},                                 // offset past the end
+			{-2, 2, []string{"p00", "p01"}},              // negative offset clamps to 0
+			{7, math.MaxInt, []string{"p07", "p08", "p09"}}, // huge limit must not overflow
+			{0, 0, []string{"p00", "p01", "p02", "p03", "p04", "p05", "p06", "p07", "p08", "p09"}},
+		}
+		for _, c := range cases {
+			got := partsOf(tbl.Page(c.offset, c.limit))
+			if len(got) != len(c.want) {
+				t.Fatalf("Page(%d,%d) = %v, want %v", c.offset, c.limit, got, c.want)
+			}
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					t.Fatalf("Page(%d,%d) = %v, want %v", c.offset, c.limit, got, c.want)
+				}
+			}
+		}
+		// Pages are detached: mutating a served row never corrupts the
+		// table.
+		page := tbl.Page(0, 2)
+		page[0][0] = "corrupted"
+		if tbl.Tuples()[0][0] != "p00" || !tbl.Contains(Tuple{"p00", 0}) {
+			t.Fatal("Page aliased table storage")
+		}
+	})
+}
+
+func TestBackendDeleteWhereEdgeCases(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, engine Engine) {
+		tbl := newBackedTable(t, engine, mustSchema(t, "r", "part", "n:integer"))
+
+		// Deleting from an empty table is a no-op.
+		if n := tbl.DeleteWhere(func(Tuple) bool { return true }); n != 0 {
+			t.Fatalf("empty DeleteWhere = %d", n)
+		}
+		fillParts(t, tbl, 10)
+
+		// A predicate matching nothing deletes nothing and keeps every
+		// row addressable.
+		if n := tbl.DeleteWhere(func(Tuple) bool { return false }); n != 0 {
+			t.Fatalf("no-op DeleteWhere = %d", n)
+		}
+		if tbl.Len() != 10 || !tbl.Contains(Tuple{"p07", 7}) {
+			t.Fatal("no-op DeleteWhere disturbed the table")
+		}
+
+		// Delete the odd rows: survivors keep relative order, the index
+		// serves membership for survivors only, and pagination follows
+		// the re-packed positions.
+		n := tbl.DeleteWhere(func(tp Tuple) bool { return tp[1].(int64)%2 == 1 })
+		if n != 5 || tbl.Len() != 5 {
+			t.Fatalf("odd DeleteWhere: n=%d len=%d", n, tbl.Len())
+		}
+		want := []string{"p00", "p02", "p04", "p06", "p08"}
+		got := partsOf(tbl.Tuples())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("survivors = %v", got)
+			}
+		}
+		if tbl.Contains(Tuple{"p01", 1}) || !tbl.Contains(Tuple{"p08", 8}) {
+			t.Fatal("index out of sync after DeleteWhere")
+		}
+		if got := partsOf(tbl.Page(3, 2)); len(got) != 2 || got[0] != "p06" || got[1] != "p08" {
+			t.Fatalf("Page after DeleteWhere = %v", got)
+		}
+
+		// Delete everything; the table stays usable.
+		if n := tbl.DeleteWhere(func(Tuple) bool { return true }); n != 5 {
+			t.Fatalf("delete-all = %d", n)
+		}
+		if tbl.Len() != 0 || tbl.Page(0, 0) != nil {
+			t.Fatal("delete-all left rows behind")
+		}
+		if added, err := tbl.Insert(Tuple{"fresh", 0}); err != nil || !added {
+			t.Fatalf("insert after delete-all: %v %v", added, err)
+		}
+	})
+}
+
+// TestBackendDeleteDuringSnapshot pins the snapshot-isolation shape a
+// single-writer session relies on: a snapshot taken before a delete
+// keeps the pre-delete rows (its bytes are already rendered), the
+// delete does not disturb it, and a snapshot taken after reflects
+// exactly the survivors.
+func TestBackendDeleteDuringSnapshot(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, engine Engine) {
+		tbl := newBackedTable(t, engine, mustSchema(t, "r", "part", "n:integer"))
+		fillParts(t, tbl, 10)
+
+		var before bytes.Buffer
+		if err := tbl.WriteTSV(&before); err != nil {
+			t.Fatal(err)
+		}
+		if n := tbl.DeleteWhere(func(tp Tuple) bool { return tp[1].(int64) >= 5 }); n != 5 {
+			t.Fatalf("delete = %d", n)
+		}
+		// The pre-delete snapshot still parses to the full row set.
+		restored, err := ReadTSV(bytes.NewReader(before.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.Len() != 10 || !restored.Contains(Tuple{"p09", 9}) {
+			t.Fatalf("pre-delete snapshot lost rows: len=%d", restored.Len())
+		}
+		// A fresh snapshot holds exactly the survivors.
+		var after bytes.Buffer
+		if err := tbl.WriteTSV(&after); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTSV(bytes.NewReader(after.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Len() != 5 || again.Contains(Tuple{"p05", 5}) || !again.Contains(Tuple{"p04", 4}) {
+			t.Fatalf("post-delete snapshot wrong: len=%d", again.Len())
+		}
+	})
+}
+
+// TestBackendTSVBytesIdentical is the serialization half of the
+// cross-backend equivalence invariant: the same inserts in the same
+// order produce byte-identical WriteTSV output (and therefore
+// byte-identical SaveDB snapshots) from both backends, including
+// values that exercise the escaping.
+func TestBackendTSVBytesIdentical(t *testing.T) {
+	schema := mustSchema(t, "r", "part", "note", "n:integer", "score:float")
+	rows := make([]Tuple, 0, 40)
+	for i := 0; i < 40; i++ {
+		rows = append(rows, Tuple{
+			fmt.Sprintf("p%02d", i),
+			fmt.Sprintf("line\nbreak\tand\\slash %d", i),
+			i,
+			float64(i) / 7,
+		})
+	}
+	render := func(t *testing.T, engine Engine) []byte {
+		t.Helper()
+		tbl := newBackedTable(t, engine, schema)
+		for _, tp := range rows {
+			if _, err := tbl.Insert(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	mem := render(t, MemoryEngine{})
+	disk, err := NewDiskEngine(filepath.Join(t.TempDir(), "spill"), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if got := render(t, disk); !bytes.Equal(mem, got) {
+		t.Fatalf("WriteTSV bytes differ across backends:\nmemory: %q\ndisk:   %q", mem, got)
+	}
+}
+
+// TestDiskBackendPaging exercises the disk engine's page mechanics
+// directly: rows spill to page files as they fill, reads run through
+// the LRU cache (hits and misses both observed), and a table several
+// pages long still scans in insertion order.
+func TestDiskBackendPaging(t *testing.T) {
+	engine, err := NewDiskEngine(filepath.Join(t.TempDir(), "spill"), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	tbl := newBackedTable(t, engine, mustSchema(t, "r", "part", "n:integer"))
+	fillParts(t, tbl, 19) // 4 full pages + 3-row tail
+
+	if bs := tbl.BackendStats(); bs.Pages != 4 {
+		t.Fatalf("pages = %d, want 4", bs.Pages)
+	}
+	// Sequential scans see every row in order...
+	var got []string
+	tbl.Scan(func(tp Tuple) bool {
+		got = append(got, tp[0].(string))
+		return true
+	})
+	if len(got) != 19 || got[0] != "p00" || got[18] != "p18" {
+		t.Fatalf("scan = %v", got)
+	}
+	// ...and with only 2 cached pages, scanning 4 pages twice must both
+	// hit and miss the cache.
+	tbl.Scan(func(Tuple) bool { return true })
+	bs := tbl.BackendStats()
+	if bs.CacheMisses == 0 {
+		t.Fatal("expected cache misses after scanning more pages than fit")
+	}
+	// Repeatedly reading the same row is all hits after the first load.
+	for i := 0; i < 5; i++ {
+		if !tbl.Contains(Tuple{"p01", 1}) {
+			t.Fatal("Contains(p01)")
+		}
+	}
+	if after := tbl.BackendStats(); after.CacheHits <= bs.CacheHits {
+		t.Fatalf("expected cache hits to grow: %+v -> %+v", bs, after)
+	}
+	if tbl.BackendKind() != "disk" {
+		t.Fatalf("kind = %q", tbl.BackendKind())
+	}
+}
+
+// TestDiskDBSaveLoadRoundTrip proves a whole database round-trips
+// through SaveDB/LoadDBWith on the disk engine, and that the restored
+// DB equals both the original and a memory-engine restore.
+func TestDiskDBSaveLoadRoundTrip(t *testing.T) {
+	engine, err := NewDiskEngine(filepath.Join(t.TempDir(), "spill"), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDBWith(engine)
+	defer db.Close()
+	tbl, err := db.Create(mustSchema(t, "r", "part", "n:integer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillParts(t, tbl, 13)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := SaveDB(db, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := LoadDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine2, err := NewDiskEngine(filepath.Join(t.TempDir(), "spill2"), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := LoadDBWith(dir, engine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if !EqualDB(db, mem) || !EqualDB(db, disk) || !EqualDB(mem, disk) {
+		t.Fatal("round-tripped databases differ")
+	}
+	if disk.BackendKind() != "disk" || disk.Stats().Backend != "disk" {
+		t.Fatalf("restored kind = %q", disk.BackendKind())
+	}
+}

@@ -137,23 +137,49 @@ func (tp Tuple) Clone() Tuple {
 
 // Table stores the tuples of one relation with set semantics over the
 // full tuple (inserting a duplicate is a no-op, as relation mentions
-// are de-duplicated when populating the KB).
+// are de-duplicated when populating the KB). Row storage is delegated
+// to a pluggable Backend — in-memory or disk-paged — while the Table
+// keeps the relational semantics: schema/type checking, tuple
+// normalization, and the dedup index (a compact hash -> positions map,
+// ~16 bytes per row, so set semantics cost bounded memory even when
+// the rows themselves live on disk; hash collisions are verified
+// against the stored row).
 type Table struct {
 	schema Schema
-	tuples []Tuple
-	index  map[string]int // canonical key -> position in tuples
+	be     Backend
+	index  map[uint64][]int // hash of canonical key -> candidate positions
 }
 
-// NewTable creates an empty table for the schema.
+// NewTable creates an empty in-memory table for the schema.
 func NewTable(schema Schema) *Table {
-	return &Table{schema: schema, index: map[string]int{}}
+	be, _ := MemoryEngine{}.NewBackend(schema) // never fails
+	return newTableWith(schema, be)
+}
+
+// newTableWith wraps an empty backend in a table.
+func newTableWith(schema Schema, be Backend) *Table {
+	return &Table{schema: schema, be: be, index: map[uint64][]int{}}
+}
+
+// BackendKind names the table's storage backend.
+func (t *Table) BackendKind() string { return t.be.Kind() }
+
+// BackendStats reports the table's paging counters (zero-valued for
+// the in-memory backend).
+func (t *Table) BackendStats() BackendStats { return t.be.Stats() }
+
+// Close releases the table's backend resources (disk pages). The
+// table is unusable afterwards.
+func (t *Table) Close() error {
+	t.index = nil
+	return t.be.Close()
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() Schema { return t.schema }
 
 // Len returns the number of stored tuples.
-func (t *Table) Len() int { return len(t.tuples) }
+func (t *Table) Len() int { return t.be.Len() }
 
 // key canonicalizes a tuple for set membership.
 func (t *Table) key(tp Tuple) string {
@@ -183,114 +209,118 @@ func typeOK(v any, ct ColType) bool {
 	return false
 }
 
-// Insert adds a tuple, enforcing arity and column types. Duplicate
-// tuples are ignored. It reports whether the tuple was newly added.
-func (t *Table) Insert(tp Tuple) (bool, error) {
+// normalize widens int values to int64 and type-checks the tuple
+// against the schema when check is set.
+func (t *Table) normalize(tp Tuple, check bool) (Tuple, error) {
 	if len(tp) != t.schema.Arity() {
-		return false, fmt.Errorf("kbase: %s: arity %d, got %d values", t.schema.Name, t.schema.Arity(), len(tp))
+		return nil, fmt.Errorf("kbase: %s: arity %d, got %d values", t.schema.Name, t.schema.Arity(), len(tp))
 	}
 	norm := make(Tuple, len(tp))
 	for i, v := range tp {
 		if iv, ok := v.(int); ok {
 			v = int64(iv)
 		}
-		if !typeOK(v, t.schema.Columns[i].Type) {
-			return false, fmt.Errorf("kbase: %s.%s: value %v (%T) does not match %s",
+		if check && !typeOK(v, t.schema.Columns[i].Type) {
+			return nil, fmt.Errorf("kbase: %s.%s: value %v (%T) does not match %s",
 				t.schema.Name, t.schema.Columns[i].Name, v, v, t.schema.Columns[i].Type)
 		}
 		norm[i] = v
 	}
+	return norm, nil
+}
+
+// lookup returns the position of the tuple with canonical key k, or
+// -1. Hash collisions are resolved by fetching the candidate rows and
+// comparing keys.
+func (t *Table) lookup(k string) int {
+	for _, pos := range t.index[hashKey(k)] {
+		if t.key(t.be.Get(pos)) == k {
+			return pos
+		}
+	}
+	return -1
+}
+
+// rebuildIndex rehashes every stored row — the epilogue of any
+// positional change (deletes re-pack positions).
+func (t *Table) rebuildIndex() {
+	t.index = make(map[uint64][]int, t.be.Len())
+	pos := 0
+	t.be.Scan(func(tp Tuple) bool {
+		h := hashKey(t.key(tp))
+		t.index[h] = append(t.index[h], pos)
+		pos++
+		return true
+	})
+}
+
+// Insert adds a tuple, enforcing arity and column types. Duplicate
+// tuples are ignored. It reports whether the tuple was newly added.
+func (t *Table) Insert(tp Tuple) (bool, error) {
+	norm, err := t.normalize(tp, true)
+	if err != nil {
+		return false, err
+	}
 	k := t.key(norm)
-	if _, dup := t.index[k]; dup {
+	if t.lookup(k) >= 0 {
 		return false, nil
 	}
-	t.index[k] = len(t.tuples)
-	t.tuples = append(t.tuples, norm)
+	pos := t.be.Len()
+	if err := t.be.Append(norm); err != nil {
+		return false, err
+	}
+	h := hashKey(k)
+	t.index[h] = append(t.index[h], pos)
 	return true, nil
 }
 
 // Contains reports whether an identical tuple is stored.
 func (t *Table) Contains(tp Tuple) bool {
-	if len(tp) != t.schema.Arity() {
+	norm, err := t.normalize(tp, false)
+	if err != nil {
 		return false
 	}
-	norm := make(Tuple, len(tp))
-	for i, v := range tp {
-		if iv, ok := v.(int); ok {
-			v = int64(iv)
-		}
-		norm[i] = v
-	}
-	_, ok := t.index[t.key(norm)]
-	return ok
+	return t.lookup(t.key(norm)) >= 0
 }
 
 // Delete removes the exact tuple (after int normalization), reporting
-// whether it was present. Deletion re-packs the tuple slice, so it is
+// whether it was present. Deletion re-packs the stored rows, so it is
 // O(n). Bulk re-materialization (e.g. a labeling-function edit
 // rewriting a Labels column) goes through DeleteWhere, which re-packs
 // once for any number of rows.
 func (t *Table) Delete(tp Tuple) bool {
-	if len(tp) != t.schema.Arity() {
+	norm, err := t.normalize(tp, false)
+	if err != nil {
 		return false
-	}
-	norm := make(Tuple, len(tp))
-	for i, v := range tp {
-		if iv, ok := v.(int); ok {
-			v = int64(iv)
-		}
-		norm[i] = v
 	}
 	k := t.key(norm)
-	pos, ok := t.index[k]
-	if !ok {
+	if t.lookup(k) < 0 {
 		return false
 	}
-	t.tuples = append(t.tuples[:pos], t.tuples[pos+1:]...)
-	delete(t.index, k)
-	for kk, p := range t.index {
-		if p > pos {
-			t.index[kk] = p - 1
-		}
-	}
+	// Set semantics: exactly one stored row carries this key.
+	t.be.DeleteWhere(func(row Tuple) bool { return t.key(row) == k })
+	t.rebuildIndex()
 	return true
 }
 
 // DeleteWhere removes every tuple satisfying pred, returning how many
 // were deleted. Surviving tuples keep their relative insertion order.
 func (t *Table) DeleteWhere(pred func(Tuple) bool) int {
-	kept := t.tuples[:0]
-	deleted := 0
-	for _, tp := range t.tuples {
-		if pred(tp) {
-			deleted++
-			continue
-		}
-		kept = append(kept, tp)
-	}
-	if deleted == 0 {
-		return 0
-	}
-	t.tuples = kept
-	t.index = make(map[string]int, len(kept))
-	for i, tp := range kept {
-		t.index[t.key(tp)] = i
+	deleted := t.be.DeleteWhere(pred)
+	if deleted > 0 {
+		t.rebuildIndex()
 	}
 	return deleted
 }
 
 // Scan calls fn for every tuple in insertion order; fn returning false
 // stops the scan. The tuple passed to fn is *borrowed*: it aliases
-// table storage for the duration of the callback and must not be
-// retained or modified (clone it with Tuple.Clone to keep it). Scan is
-// the one deliberately zero-copy read path; Select, Tuples and Page
-// return detached clones.
+// table (or page-cache) storage for the duration of the callback and
+// must not be retained or modified (clone it with Tuple.Clone to keep
+// it). Scan is the one deliberately zero-copy read path; Select,
+// Tuples and Page return detached clones.
 func (t *Table) Scan(fn func(Tuple) bool) {
-	for _, tp := range t.tuples {
-		if !fn(tp) {
-			return
-		}
-	}
+	t.be.Scan(fn)
 }
 
 // Select returns clones of the tuples satisfying the predicate. The
@@ -299,11 +329,12 @@ func (t *Table) Scan(fn func(Tuple) bool) {
 // freely while the table keeps mutating.
 func (t *Table) Select(pred func(Tuple) bool) []Tuple {
 	var out []Tuple
-	for _, tp := range t.tuples {
+	t.be.Scan(func(tp Tuple) bool {
 		if pred(tp) {
 			out = append(out, tp.Clone())
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -311,10 +342,11 @@ func (t *Table) Select(pred func(Tuple) bool) []Tuple {
 // slice and every tuple are cloned, so the result never aliases table
 // storage.
 func (t *Table) Tuples() []Tuple {
-	out := make([]Tuple, len(t.tuples))
-	for i, tp := range t.tuples {
-		out[i] = tp.Clone()
-	}
+	out := make([]Tuple, 0, t.be.Len())
+	t.be.Scan(func(tp Tuple) bool {
+		out = append(out, tp.Clone())
+		return true
+	})
 	return out
 }
 
@@ -323,32 +355,29 @@ func (t *Table) Tuples() []Tuple {
 // negative or zero limit means "to the end"; offsets past the end
 // return nil.
 func (t *Table) Page(offset, limit int) []Tuple {
-	if offset < 0 {
-		offset = 0
-	}
-	if offset >= len(t.tuples) {
-		return nil
-	}
-	end := len(t.tuples)
-	// Compare limit against the remaining window rather than compute
-	// offset+limit, which a huge caller-supplied limit would overflow.
-	if limit > 0 && limit < end-offset {
-		end = offset + limit
-	}
-	out := make([]Tuple, 0, end-offset)
-	for _, tp := range t.tuples[offset:end] {
-		out = append(out, tp.Clone())
-	}
-	return out
+	return t.be.Page(offset, limit)
 }
 
-// DB is a collection of named tables — the knowledge base.
+// DB is a collection of named tables — the knowledge base. Tables are
+// created through the database's storage engine (in-memory unless the
+// DB was built with NewDBWith).
 type DB struct {
+	engine Engine
 	tables map[string]*Table
 }
 
-// NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+// NewDB returns an empty database over the in-memory engine.
+func NewDB() *DB { return NewDBWith(MemoryEngine{}) }
+
+// NewDBWith returns an empty database whose tables are created by the
+// given storage engine. The database takes ownership of the engine:
+// Close closes every table, then the engine.
+func NewDBWith(engine Engine) *DB {
+	return &DB{engine: engine, tables: map[string]*Table{}}
+}
+
+// BackendKind names the database's storage engine.
+func (db *DB) BackendKind() string { return db.engine.Kind() }
 
 // Create creates a table for the schema. Creating an existing table is
 // an error (the pipeline initializes each KB exactly once).
@@ -356,9 +385,61 @@ func (db *DB) Create(schema Schema) (*Table, error) {
 	if _, exists := db.tables[schema.Name]; exists {
 		return nil, fmt.Errorf("kbase: table %s already exists", schema.Name)
 	}
-	t := NewTable(schema)
+	be, err := db.engine.NewBackend(schema)
+	if err != nil {
+		return nil, fmt.Errorf("kbase: creating %s backend for %s: %w", db.engine.Kind(), schema.Name, err)
+	}
+	t := newTableWith(schema, be)
 	db.tables[schema.Name] = t
 	return t, nil
+}
+
+// Close releases every table's backend resources, then the engine's
+// (the disk engine removes its spill directory). The database is
+// unusable afterwards.
+func (db *DB) Close() error {
+	var firstErr error
+	for _, t := range db.tables {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.tables = map[string]*Table{}
+	if err := db.engine.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// DBStats aggregates the paging counters of every table's backend.
+type DBStats struct {
+	// Backend is the engine kind ("memory" or "disk").
+	Backend string
+	// Pages counts full row pages on disk across all tables.
+	Pages int
+	// CacheHits / CacheMisses sum the tables' page-cache lookups.
+	CacheHits, CacheMisses int64
+}
+
+// HitRate returns the page-cache hit fraction (0 when no lookups).
+func (s DBStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats aggregates the database's backend statistics.
+func (db *DB) Stats() DBStats {
+	out := DBStats{Backend: db.engine.Kind()}
+	for _, t := range db.tables {
+		bs := t.BackendStats()
+		out.Pages += bs.Pages
+		out.CacheHits += bs.CacheHits
+		out.CacheMisses += bs.CacheMisses
+	}
+	return out
 }
 
 // Attach adds an existing table (e.g. one parsed by ReadTSV) to the

@@ -93,10 +93,52 @@ func splitTSV(line string) ([]string, error) {
 	return out, nil
 }
 
+// encodeTupleTSV renders one tuple as an escaped TSV line (no
+// trailing newline) — the row encoding shared by WriteTSV and the
+// disk backend's page files, which is what makes a table's serialized
+// bytes identical across backends.
+func encodeTupleTSV(tp Tuple) string {
+	parts := make([]string, len(tp))
+	for i, v := range tp {
+		parts[i] = escapeTSV(fmt.Sprint(v))
+	}
+	return strings.Join(parts, "\t")
+}
+
+// parseTupleFields type-converts one row's unescaped fields against
+// the schema.
+func parseTupleFields(schema Schema, parts []string) (Tuple, error) {
+	if len(parts) != schema.Arity() {
+		return nil, fmt.Errorf("%d values, want %d", len(parts), schema.Arity())
+	}
+	tp := make(Tuple, len(parts))
+	for i, p := range parts {
+		switch schema.Columns[i].Type {
+		case IntCol:
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			tp[i] = v
+		case FloatCol:
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, err
+			}
+			tp[i] = v
+		default:
+			tp[i] = p
+		}
+	}
+	return tp, nil
+}
+
 // WriteTSV serializes the table as tab-separated values with a header
 // line of "name:type" column specs, so a table round-trips through
 // ReadTSV with its schema intact. String values are escaped, so tabs
-// and newlines inside values survive the round trip.
+// and newlines inside values survive the round trip. The row bytes
+// come from the backend's Snapshot, which for the disk-paged backend
+// is a straight copy of its page files.
 func (t *Table) WriteTSV(w io.Writer) error {
 	specs := make([]string, len(t.schema.Columns))
 	for i, c := range t.schema.Columns {
@@ -105,19 +147,7 @@ func (t *Table) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "#%s\t%s\n", escapeTSV(t.schema.Name), strings.Join(specs, "\t")); err != nil {
 		return err
 	}
-	var firstErr error
-	t.Scan(func(tp Tuple) bool {
-		parts := make([]string, len(tp))
-		for i, v := range tp {
-			parts[i] = escapeTSV(fmt.Sprint(v))
-		}
-		if _, err := fmt.Fprintln(w, strings.Join(parts, "\t")); err != nil {
-			firstErr = err
-			return false
-		}
-		return true
-	})
-	return firstErr
+	return t.be.Snapshot(w)
 }
 
 // readLine reads one newline-terminated line of unbounded length,
@@ -136,7 +166,15 @@ func readLine(r *bufio.Reader) (string, error) {
 
 // ReadTSV parses a table previously written by WriteTSV, rebuilding
 // the schema from the header line and type-converting every value.
+// The table is in-memory; ReadTSVWith restores into another engine.
 func ReadTSV(r io.Reader) (*Table, error) {
+	return ReadTSVWith(r, MemoryEngine{})
+}
+
+// ReadTSVWith is ReadTSV with the restored rows stored through the
+// given engine — how a disk-backed session resumes a snapshot without
+// materializing its relations in memory.
+func ReadTSVWith(r io.Reader, engine Engine) (*Table, error) {
 	br := bufio.NewReader(r)
 	header, err := readLine(br)
 	if err == io.EOF {
@@ -165,7 +203,11 @@ func ReadTSV(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := NewTable(schema)
+	be, err := engine.NewBackend(schema)
+	if err != nil {
+		return nil, fmt.Errorf("kbase: creating %s backend for %s: %w", engine.Kind(), schema.Name, err)
+	}
+	t := newTableWith(schema, be)
 	lineNo := 1
 	for {
 		line, err := readLine(br)
@@ -184,27 +226,9 @@ func ReadTSV(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kbase: TSV line %d: %w", lineNo, err)
 		}
-		if len(parts) != schema.Arity() {
-			return nil, fmt.Errorf("kbase: TSV line %d: %d values, want %d", lineNo, len(parts), schema.Arity())
-		}
-		tp := make(Tuple, len(parts))
-		for i, p := range parts {
-			switch schema.Columns[i].Type {
-			case IntCol:
-				v, err := strconv.ParseInt(p, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("kbase: TSV line %d: %v", lineNo, err)
-				}
-				tp[i] = v
-			case FloatCol:
-				v, err := strconv.ParseFloat(p, 64)
-				if err != nil {
-					return nil, fmt.Errorf("kbase: TSV line %d: %v", lineNo, err)
-				}
-				tp[i] = v
-			default:
-				tp[i] = p
-			}
+		tp, err := parseTupleFields(schema, parts)
+		if err != nil {
+			return nil, fmt.Errorf("kbase: TSV line %d: %v", lineNo, err)
 		}
 		if _, err := t.Insert(tp); err != nil {
 			return nil, fmt.Errorf("kbase: TSV line %d: %w", lineNo, err)
@@ -279,35 +303,50 @@ func SaveDB(db *DB, dir string) error {
 	return os.RemoveAll(old)
 }
 
-// LoadDB restores a database from a SaveDB directory.
+// LoadDB restores a database from a SaveDB directory into memory.
 func LoadDB(dir string) (*DB, error) {
+	return LoadDBWith(dir, MemoryEngine{})
+}
+
+// LoadDBWith restores a database from a SaveDB directory through the
+// given storage engine. The database takes ownership of the engine.
+// On error the partially built database is closed, so a failed
+// disk-backed load leaks no spill files.
+func LoadDBWith(dir string, engine Engine) (*DB, error) {
 	body, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
+		engine.Close()
 		return nil, fmt.Errorf("kbase: reading snapshot manifest: %w", err)
 	}
-	db := NewDB()
+	db := NewDBWith(engine)
+	fail := func(err error) (*DB, error) {
+		db.Close()
+		return nil, err
+	}
 	for _, name := range strings.Split(strings.TrimSpace(string(body)), "\n") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		if !safeTableFile(name) {
-			return nil, fmt.Errorf("kbase: manifest table name %q is not snapshot-safe", name)
+			return fail(fmt.Errorf("kbase: manifest table name %q is not snapshot-safe", name))
 		}
 		f, err := os.Open(filepath.Join(dir, name+".tsv"))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		t, err := ReadTSV(f)
+		t, err := ReadTSVWith(f, engine)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("kbase: table %s: %w", name, err)
+			return fail(fmt.Errorf("kbase: table %s: %w", name, err))
 		}
 		if t.Schema().Name != name {
-			return nil, fmt.Errorf("kbase: snapshot file %s.tsv holds table %q", name, t.Schema().Name)
+			t.Close()
+			return fail(fmt.Errorf("kbase: snapshot file %s.tsv holds table %q", name, t.Schema().Name))
 		}
 		if err := db.Attach(t); err != nil {
-			return nil, err
+			t.Close()
+			return fail(err)
 		}
 	}
 	return db, nil

@@ -368,6 +368,12 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		cols[i] = map[string]string{"name": c.Name, "type": c.Type.String()}
 	}
 	res := v.Result()
+	// The storage section is the operator's view of the pluggable
+	// engine: which backend materializes the relations, how many
+	// parsed documents are hydrated against the eviction budget (the
+	// peak proves the budget held), and whether the disk backend's
+	// page cache is absorbing the read traffic.
+	st := v.StorageStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":    v.Epoch(),
 		"relation": v.Relation(),
@@ -383,6 +389,17 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		"candidates":  len(v.Candidates()),
 		"numFeatures": res.NumFeatures,
 		"kbEntries":   v.KB().Len(),
+		"storage": map[string]any{
+			"backend":          st.Backend,
+			"docs":             st.Docs,
+			"residentDocs":     st.ResidentDocs,
+			"peakResidentDocs": st.PeakResidentDocs,
+			"maxResidentDocs":  st.MaxResidentDocs,
+			"diskPages":        st.DiskPages,
+			"pageCacheHits":    st.PageCacheHits,
+			"pageCacheMisses":  st.PageCacheMisses,
+			"pageCacheHitRate": st.PageCacheHitRate,
+		},
 	})
 }
 

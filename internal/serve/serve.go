@@ -65,6 +65,10 @@ type Server struct {
 	gold        []core.GoldTuple
 	snapshotDir string
 
+	// store is the owned session; mutated only by the writer
+	// goroutine, closed (storage-engine cleanup) by Close.
+	store *core.Store
+
 	view atomic.Pointer[core.StoreView]
 
 	reqs      chan writerReq
@@ -96,11 +100,19 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		gold:        cfg.Gold,
 		snapshotDir: cfg.SnapshotDir,
+		store:       st,
 		reqs:        make(chan writerReq),
 		closed:      make(chan struct{}),
 	}
 	view, err := st.View(cfg.Gold)
 	if err != nil {
+		if cfg.Store == nil {
+			// We created this store; release its storage engine (the
+			// disk backend's spill directory) rather than leak it. A
+			// caller-provided store stays the caller's to close —
+			// ownership only transfers on success.
+			st.Close()
+		}
 		return nil, fmt.Errorf("serve: building initial view: %w", err)
 	}
 	s.view.Store(view)
@@ -121,12 +133,15 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the writer goroutine. An in-flight request finishes
-// first; subsequent writes fail with an error. Reads keep working
-// against the last published view.
+// Close stops the writer goroutine and releases the owned store's
+// storage-engine resources (the disk backend's spill directory). An
+// in-flight request finishes first; subsequent writes fail with an
+// error. Reads keep working against the last published view — views
+// carry their own state and never touch the store.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
 	s.wg.Wait()
+	s.store.Close()
 }
 
 // errClosed is returned for writes against a closed server.
