@@ -8,6 +8,7 @@ package fonduer
 // numbers next to the timings.
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -326,6 +327,60 @@ func benchServeRead(b *testing.B, paths []string) {
 	})
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "queries/sec")
+	}
+}
+
+// BenchmarkServeMultiTenantRead measures the session registry's read
+// path under a mixed fleet workload: 8 populated tenants in one
+// registry, concurrent clients rotating reads across every tenant's
+// /t/<name>/kb and /t/<name>/meta routes. Relative to
+// BenchmarkServeKBRead this adds the registry's routing layer (tenant
+// lookup under RLock + StripPrefix) per request — the multi-tenant
+// overhead the registry design promises to keep negligible.
+func BenchmarkServeMultiTenantRead(b *testing.B) {
+	const nTenants = 8
+	rg, err := serve.NewRegistry(serve.RegistryConfig{
+		Resolve: func(domain, relation string) (core.Task, []core.GoldTuple, error) {
+			elec := synth.Electronics(8, 2)
+			return elec.Tasks[0], nil, nil
+		},
+		BaseOptions: core.Options{Seed: 1, Epochs: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rg.Close()
+	var paths []string
+	for i := 0; i < nTenants; i++ {
+		name := fmt.Sprintf("tenant%d", i)
+		if _, err := rg.Create(serve.TenantConfig{Name: name, Domain: "electronics"}); err != nil {
+			b.Fatal(err)
+		}
+		corpus := synth.Electronics(int64(100+i), 8)
+		if _, err := rg.Get(name).Ingest(corpus.Docs); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, "/t/"+name+"/kb", "/t/"+name+"/meta")
+	}
+	handler := rg.Handler()
+	b.ResetTimer()
+	start := time.Now()
+	// One op sweeps every tenant route once, so even a single-iteration
+	// run (the CI gate uses -benchtime 1x) averages over the whole
+	// fleet instead of timing one request.
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for _, path := range paths {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d for %s", rec.Code, path)
+				}
+			}
+		}
+	})
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(paths))/secs, "queries/sec")
 	}
 }
 

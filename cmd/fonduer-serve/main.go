@@ -1,4 +1,4 @@
-// Command fonduer-serve serves a knowledge-base session over HTTP:
+// Command fonduer-serve serves knowledge-base sessions over HTTP:
 // snapshot-isolated reads (KB tuples, candidates, marginals, LF
 // metrics, feature statistics, session metadata), online document
 // ingestion with incremental retraining, ad-hoc classification
@@ -6,135 +6,255 @@
 // with every response served from exactly one published epoch (see
 // internal/serve for the copy-on-write concurrency model).
 //
+// One process carries N isolated tenants (a session registry, see
+// internal/serve/registry.go): each tenant is its own store, writer
+// goroutine and epoch pointer, routed under /t/<tenant>/..., with the
+// classic un-prefixed routes aliasing the default tenant. Tenants are
+// bootstrapped with -tenants or created at runtime via
+// POST /admin/tenants; all tenants share one worker-pool budget
+// (-pool) so a retrain in one cannot starve the rest.
+//
 // Usage:
 //
-//	fonduer-serve -addr :8080 -domain electronics                # empty session, ingest online
+//	fonduer-serve -addr :8080 -domain electronics                # one empty default tenant, ingest online
 //	fonduer-serve -store ./session -domain electronics           # serve a 'fonduer -store ./session' build
 //	fonduer-serve -store ./session -relation HasCollectorCurrent # pick one of the domain's relations
 //	fonduer-serve -backend disk -max-resident-docs 64            # disk-paged relations + parsed-doc eviction
-//	                                                             # (larger-than-RAM corpora; /meta shows counters)
+//	fonduer-serve -tenants 'elec:electronics,ads:ads::disk:32'   # multi-tenant bootstrap
+//	                                                             # (name:domain[:relation[:backend[:maxResidentDocs]]])
 //
 // With -store, the directory layout of cmd/fonduer is understood
-// directly: a batch-built session snapshot at <store>/<relation> is
-// resumed (no re-parse, no re-extract) and served; if none exists
-// yet, the server starts empty and POST /admin/snapshot persists to
-// that same path, so fonduer and fonduer-serve can hand one session
-// back and forth.
+// directly: the default tenant resumes a batch-built snapshot at
+// <store>/<relation> (no re-parse, no re-extract); other tenants
+// persist and resume under <store>/<tenant>/<relation> via
+// POST /t/<tenant>/admin/snapshot.
 //
 // Endpoints (all JSON; every response carries its epoch):
 //
 //	GET  /healthz   GET /kb   GET /candidates   GET /marginals
-//	GET  /lfmetrics GET /features GET /meta
+//	GET  /lfmetrics GET /features GET /meta     (default-tenant alias;
+//	                                             /healthz and /meta aggregate the fleet)
 //	POST /ingest    POST /classify   POST /admin/snapshot
+//	GET|POST /admin/tenants   DELETE /admin/tenants/<name>
+//	/t/<tenant>/<any of the per-tenant routes above>
+//
+// On SIGINT/SIGTERM the server drains in-flight requests and closes
+// every tenant, releasing the disk backend's spill directories.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	fonduer "repro"
+	"repro/internal/pool"
 	"repro/internal/serve"
 )
 
 func main() {
-	store := flag.String("store", "", "session directory as used by 'fonduer -store' (snapshot lives at <store>/<relation>)")
+	store := flag.String("store", "", "session directory as used by 'fonduer -store' (default tenant at <store>/<relation>, others at <store>/<tenant>/<relation>)")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size for ingest-time pipeline stages and minibatch training (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "per-tenant worker count for ingest-time pipeline stages and minibatch training (0 = GOMAXPROCS)")
+	poolSize := flag.Int("pool", 0, "fleet-wide worker budget shared across all tenants' parallel stages (0 = GOMAXPROCS, <0 = unlimited); one tenant's retrain can use at most this many extra goroutines")
 	batch := flag.Int("batch", 0, "training minibatch size per published view (0 = 1, one Adam step per example; >1 parallelizes gradient work across -workers)")
-	domain := flag.String("domain", "electronics", "task definitions to use: electronics, ads, paleo, genomics")
-	relation := flag.String("relation", "", "relation to serve (default: the domain's first)")
+	domain := flag.String("domain", "electronics", "default tenant's task definitions: electronics, ads, paleo, genomics")
+	relation := flag.String("relation", "", "default tenant's relation (default: the domain's first)")
+	tenants := flag.String("tenants", "", "bootstrap tenants as comma-separated name:domain[:relation[:backend[:maxResidentDocs]]] specs; empty = one default tenant from -domain/-relation")
+	defaultTenant := flag.String("default-tenant", "", "tenant served by the un-prefixed routes (default: the first bootstrapped tenant)")
 	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
 	epochs := flag.Int("epochs", 16, "training epochs per published view")
 	seed := flag.Int64("seed", 1, "random seed")
-	backend := flag.String("backend", "", "storage engine for the session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory)")
-	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM, evicting LRU documents and rehydrating from the session relations on demand; /meta reports the counters (0 = unlimited)")
+	backend := flag.String("backend", "", "storage engine for session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory); per-tenant overrides via -tenants or POST /admin/tenants")
+	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM per tenant, evicting LRU documents and rehydrating on demand; /meta reports the counters (0 = unlimited)")
 	flag.Parse()
 
 	if *backend != "" && *backend != "memory" && *backend != "disk" {
 		fmt.Fprintf(os.Stderr, "fonduer-serve: unknown -backend %q (want memory or disk)\n", *backend)
 		os.Exit(1)
 	}
-	srv, task, resumed, err := buildServer(*store, *domain, *relation, *threshold, *epochs, *seed, *workers, *batch, *backend, *maxResident)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
-		os.Exit(1)
-	}
-	defer srv.Close()
-	view := srv.CurrentView()
-	if resumed {
-		fmt.Printf("resumed %s session: %d documents, %d candidates\n",
-			task.Relation, view.NumDocs(), len(view.Candidates()))
-	} else {
-		fmt.Printf("serving empty %s session (ingest documents via POST /ingest)\n", task.Relation)
-	}
-	fmt.Printf("fonduer-serve: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
-		os.Exit(1)
-	}
-}
-
-// buildServer resolves the domain's task, resumes the session
-// snapshot when one exists under storeDir, and assembles the server.
-// resumed reports whether a snapshot was loaded.
-func buildServer(storeDir, domain, relation string, threshold float64, epochs int, seed int64, workers, batch int, backend string, maxResident int) (*serve.Server, fonduer.Task, bool, error) {
-	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
-	if err != nil {
-		return nil, fonduer.Task{}, false, err
-	}
-	var task fonduer.Task
-	found := false
-	for _, t := range ref.Tasks {
-		if relation == "" || t.Relation == relation {
-			task = t
-			found = true
-			break
-		}
-	}
-	if !found {
-		return nil, fonduer.Task{}, false, fmt.Errorf("no task matches relation %q in domain %q", relation, domain)
+	// The fleet-wide pool budget: installed before any tenant exists so
+	// even bootstrap-time view building honors it.
+	if *poolSize >= 0 {
+		pool.SetSharedLimit(pool.Workers(*poolSize))
 	}
 
 	// The flag value is always explicit, so ThresholdOverride is the
 	// right carrier: it expresses every value exactly, including 0
 	// (which the plain field's zero-value sentinel would snap to 0.5).
 	opts := fonduer.Options{
-		ThresholdOverride: fonduer.Float64(threshold), Epochs: epochs, Seed: seed,
-		Workers: workers, Batch: batch,
-		Backend: backend, MaxResidentDocs: maxResident,
+		ThresholdOverride: fonduer.Float64(*threshold), Epochs: *epochs, Seed: *seed,
+		Workers: *workers, Batch: *batch,
+		Backend: *backend, MaxResidentDocs: *maxResident,
 	}
-	var st *fonduer.Store
-	snapDir := ""
-	resumed := false
-	if storeDir != "" {
-		// Accept both a per-relation snapshot directory and the
-		// cmd/fonduer parent layout (<store>/<relation>).
-		snapDir = storeDir
-		if !fonduer.IsStoreDir(snapDir) {
-			snapDir = filepath.Join(storeDir, task.Relation)
+	rg, err := buildRegistry(*store, *domain, *relation, *tenants, *defaultTenant, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+	for _, ts := range rg.List() {
+		state := "empty (ingest via POST /t/" + ts.Name + "/ingest)"
+		if ts.Resumed {
+			state = fmt.Sprintf("resumed: %d documents, %d candidates", ts.Docs, ts.Candidates)
 		}
-		if fonduer.IsStoreDir(snapDir) {
-			st, err = fonduer.OpenStore(snapDir, task, opts)
-			if err != nil {
-				return nil, fonduer.Task{}, false, fmt.Errorf("resuming %s: %w", snapDir, err)
+		def := ""
+		if ts.Default {
+			def = " [default]"
+		}
+		fmt.Printf("tenant %-16s %s/%s backend=%s %s%s\n", ts.Name, ts.Domain, ts.Relation, ts.Backend, state, def)
+	}
+	fmt.Printf("fonduer-serve: %d tenant(s), pool budget %d, listening on %s\n",
+		len(rg.List()), pool.SharedLimit(), *addr)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		rg.Close()
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := serveUntil(&http.Server{Handler: rg.Handler()}, rg, ln, stop); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// serveUntil serves ln until a shutdown signal arrives (or the
+// listener fails), then drains in-flight requests via
+// http.Server.Shutdown and closes every tenant. The registry Close is
+// what releases the disk backend's spill directories — before signal
+// handling existed, SIGINT/SIGTERM killed the process with the
+// deferred Close never run, leaking a spill directory per disk
+// tenant (the GC finalizer backstop doesn't fire on process exit).
+func serveUntil(httpSrv *http.Server, rg *serve.Registry, ln net.Listener, stop <-chan os.Signal) error {
+	defer rg.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("fonduer-serve: caught %v, draining requests and closing tenants\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			httpSrv.Close() // drain timed out: cut the stragglers, still close stores
+		}
+		return nil
+	}
+}
+
+// resolveTask maps -domain/-relation (or a tenant spec) to the
+// domain's task definitions — the same lookup every binary shares, so
+// identical matchers/throttlers/LFs everywhere. Gold tuples are not
+// served: a production tenant's corpus arrives online, so quality
+// evaluation stays empty exactly as in the single-tenant server.
+func resolveTask(domain, relation string) (fonduer.Task, []fonduer.GoldTuple, error) {
+	ref, err := fonduer.CorpusByDomain(domain, 0, 2)
+	if err != nil {
+		return fonduer.Task{}, nil, err
+	}
+	for _, t := range ref.Tasks {
+		if relation == "" || t.Relation == relation {
+			return t, nil, nil
+		}
+	}
+	return fonduer.Task{}, nil, fmt.Errorf("no task matches relation %q in domain %q", relation, domain)
+}
+
+// parseTenantSpecs parses the -tenants flag: comma-separated
+// name:domain[:relation[:backend[:maxResidentDocs]]] with empty
+// positional fields allowed (elec:electronics::disk).
+func parseTenantSpecs(s string) ([]serve.TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []serve.TenantConfig
+	for _, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) < 2 || len(parts) > 5 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("bad -tenants spec %q (want name:domain[:relation[:backend[:maxResidentDocs]]])", spec)
+		}
+		tc := serve.TenantConfig{Name: parts[0], Domain: parts[1]}
+		if len(parts) > 2 {
+			tc.Relation = parts[2]
+		}
+		if len(parts) > 3 {
+			tc.Backend = parts[3]
+		}
+		if len(parts) > 4 && parts[4] != "" {
+			n, err := strconv.Atoi(parts[4])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad -tenants spec %q: maxResidentDocs %q is not a non-negative integer", spec, parts[4])
 			}
-			resumed = true
+			tc.MaxResidentDocs = n
 		}
+		out = append(out, tc)
 	}
-	srv, err := serve.New(serve.Config{
-		Task:        task,
-		Options:     opts,
-		Store:       st,
-		SnapshotDir: snapDir,
+	return out, nil
+}
+
+// buildRegistry assembles the session registry from the flag surface:
+// explicit -tenants specs, or the legacy single-tenant shape (one
+// tenant named "default" from -domain/-relation, resuming the
+// cmd/fonduer <store>/<relation> layout directly).
+func buildRegistry(storeDir, domain, relation, tenantsFlag, defaultTenant string, opts fonduer.Options) (*serve.Registry, error) {
+	rg, err := serve.NewRegistry(serve.RegistryConfig{
+		Resolve:      resolveTask,
+		BaseOptions:  opts,
+		SnapshotRoot: storeDir,
 	})
 	if err != nil {
-		if st != nil {
-			st.Close() // release the resumed store's spill; serve.New only takes ownership on success
-		}
-		return nil, fonduer.Task{}, false, err
+		return nil, err
 	}
-	return srv, task, resumed, nil
+	specs, err := parseTenantSpecs(tenantsFlag)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		tc := serve.TenantConfig{Name: "default", Domain: domain, Relation: relation}
+		if storeDir != "" {
+			task, _, err := resolveTask(domain, relation)
+			if err != nil {
+				return nil, err
+			}
+			// Accept both a per-relation snapshot directory and the
+			// cmd/fonduer parent layout (<store>/<relation>) — the PR 3
+			// contract: fonduer and fonduer-serve hand one session back
+			// and forth through the same path.
+			snapDir := storeDir
+			if !fonduer.IsStoreDir(snapDir) {
+				snapDir = filepath.Join(storeDir, task.Relation)
+			}
+			tc.SnapshotDir = snapDir
+		}
+		specs = []serve.TenantConfig{tc}
+	}
+	for _, tc := range specs {
+		if _, err := rg.Create(tc); err != nil {
+			rg.Close()
+			return nil, err
+		}
+	}
+	if defaultTenant != "" {
+		if err := rg.SetDefault(defaultTenant); err != nil {
+			rg.Close()
+			return nil, err
+		}
+	}
+	return rg, nil
 }

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -48,5 +49,71 @@ func TestRunSequentialOrder(t *testing.T) {
 	}
 	if len(seen) != 5 {
 		t.Fatalf("len = %d", len(seen))
+	}
+}
+
+// TestSharedLimitBoundsConcurrency checks the fleet-sharing contract:
+// with a shared limit of k extra workers, any number of concurrent
+// Run calls hold at most (callers + k) goroutines inside fn at once,
+// and every index still runs exactly once.
+func TestSharedLimitBoundsConcurrency(t *testing.T) {
+	const limit, callers, n = 2, 4, 200
+	SetSharedLimit(limit)
+	defer SetSharedLimit(0)
+	if got := SharedLimit(); got != limit {
+		t.Fatalf("SharedLimit() = %d, want %d", got, limit)
+	}
+
+	var inFn, peak atomic.Int64
+	var calls [callers][n]atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			Run(n, 8, func(i int) {
+				cur := inFn.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				runtime.Gosched()
+				inFn.Add(-1)
+				calls[c][i].Add(1)
+			})
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		for i := 0; i < n; i++ {
+			if got := calls[c][i].Load(); got != 1 {
+				t.Fatalf("caller %d index %d ran %d times", c, i, got)
+			}
+		}
+	}
+	// Each caller's own goroutine is always allowed in, plus at most
+	// `limit` extra workers fleet-wide.
+	if p := peak.Load(); p > callers+limit {
+		t.Fatalf("peak concurrency %d exceeds callers(%d)+limit(%d)", p, callers, limit)
+	}
+}
+
+// TestSharedLimitNeverStarves pins the no-deadlock guarantee: a
+// one-slot fleet with nested Run calls still completes, because the
+// calling goroutine always works without holding a slot.
+func TestSharedLimitNeverStarves(t *testing.T) {
+	SetSharedLimit(1)
+	defer SetSharedLimit(0)
+	var total atomic.Int64
+	Run(4, 4, func(i int) {
+		// Nested fan-out from inside a worker — the shape of an
+		// experiment sweep running pipelines, or one tenant's stages
+		// inside the registry's writer.
+		Run(4, 4, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 16 {
+		t.Fatalf("nested runs executed %d tasks, want 16", got)
 	}
 }

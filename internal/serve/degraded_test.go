@@ -1,0 +1,224 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// TestPartialIngestMarksDegraded covers the partial-ingest failure
+// mode: AddDocuments succeeds but the view build fails, so the store
+// holds applied-but-unpublished mutations. That state must be
+// explicit — ingest returns an error, /healthz flips unhealthy,
+// /meta carries the degraded record (pending docs, store vs served
+// epoch) — and the next successful publish must clear it, folding the
+// stranded documents into the published view so the final KB is
+// bit-identical to a server that never failed (confluence).
+func TestPartialIngestMarksDegraded(t *testing.T) {
+	corpus := synth.Electronics(77, 9)
+	task := corpus.Tasks[0]
+	opts := core.Options{Seed: 5, Epochs: 1, Workers: 2}
+
+	srv, err := serve.New(serve.Config{Task: task, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := func(lo, hi int) map[string]any {
+		var docs []serve.DocumentUpload
+		for i := lo; i < hi; i++ {
+			docs = append(docs, uploadFor(corpus, i))
+		}
+		return map[string]any{"documents": docs}
+	}
+
+	// Healthy epoch 1.
+	postJSON(t, ts.URL+"/ingest", batch(0, 3), http.StatusOK)
+	kbBefore := getJSON(t, ts.URL+"/kb", http.StatusOK)
+	if epochOf(t, kbBefore) != 1 {
+		t.Fatalf("kb epoch = %v", kbBefore["epoch"])
+	}
+
+	// ---- Inject a publish failure into the next ingest.
+	srv.FailNextPublishForTest("injected view-build failure")
+	fail := postJSON(t, ts.URL+"/ingest", batch(3, 6), http.StatusInternalServerError)
+	if msg, _ := fail["error"].(string); !strings.Contains(msg, "injected view-build failure") {
+		t.Fatalf("ingest error = %v", fail)
+	}
+
+	// The session is degraded and says so everywhere. Readers still get
+	// the last published epoch — epoch 1, untouched by the failure.
+	h := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if h["ok"] != false {
+		t.Fatalf("degraded healthz ok = %v", h["ok"])
+	}
+	deg, ok := h["degraded"].(map[string]any)
+	if !ok {
+		t.Fatalf("degraded healthz lacks record: %v", h)
+	}
+	pending := deg["pendingDocs"].([]any)
+	if len(pending) != 3 {
+		t.Fatalf("pendingDocs = %v, want the 3 stranded documents", pending)
+	}
+	if deg["storeEpoch"].(float64) <= deg["servedEpoch"].(float64) {
+		t.Fatalf("degraded record epochs = %v", deg)
+	}
+	meta := getJSON(t, ts.URL+"/meta", http.StatusOK)
+	if _, ok := meta["degraded"]; !ok {
+		t.Fatalf("degraded /meta lacks record: %v", meta)
+	}
+	kbDuring := getJSON(t, ts.URL+"/kb", http.StatusOK)
+	if epochOf(t, kbDuring) != 1 {
+		t.Fatalf("degraded server moved the served epoch to %v", kbDuring["epoch"])
+	}
+	c1, err := canonicalKB(kbBefore["columns"], kbBefore["tuples"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := canonicalKB(kbDuring["columns"], kbDuring["tuples"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("partial ingest changed the served KB")
+	}
+
+	// ---- Recovery: the next successful ingest publishes a view over
+	// everything the store holds — including the stranded batch — and
+	// clears the degraded record.
+	rec := postJSON(t, ts.URL+"/ingest", batch(6, 9), http.StatusOK)
+	if rec["docs"].(float64) != 9 {
+		t.Fatalf("recovery ingest docs = %v, want 9 (stranded batch folded in)", rec["docs"])
+	}
+	h = getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if h["ok"] != true {
+		t.Fatalf("recovered healthz = %v", h)
+	}
+	if _, ok := h["degraded"]; ok {
+		t.Fatalf("degraded record not cleared: %v", h)
+	}
+
+	// Confluence: a server that never failed, fed the same 9 documents,
+	// serves the bit-identical KB.
+	ref, err := serve.New(serve.Config{Task: task, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+	postJSON(t, refTS.URL+"/ingest", batch(0, 3), http.StatusOK)
+	postJSON(t, refTS.URL+"/ingest", batch(3, 6), http.StatusOK)
+	postJSON(t, refTS.URL+"/ingest", batch(6, 9), http.StatusOK)
+	got := getJSON(t, ts.URL+"/kb", http.StatusOK)
+	want := getJSON(t, refTS.URL+"/kb", http.StatusOK)
+	gc, err := canonicalKB(got["columns"], got["tuples"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := canonicalKB(want["columns"], want["tuples"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != wc {
+		t.Fatalf("recovered KB differs from never-failed server\n got: %s\nwant: %s", gc, wc)
+	}
+	if epochOf(t, got) != epochOf(t, want) {
+		t.Fatalf("recovered epoch %v != reference %v", got["epoch"], want["epoch"])
+	}
+}
+
+// TestRegistryAggregatesDegradedTenant pins the fleet view of the
+// same failure: one degraded tenant flips the registry-wide /healthz
+// conjunction and shows up in the tenant roll-up, without touching
+// its neighbors' health.
+func TestRegistryAggregatesDegradedTenant(t *testing.T) {
+	opts := core.Options{Seed: 5, Epochs: 1, Workers: 1}
+	rg := newTestRegistry(t, "", opts)
+	for _, tc := range []serve.TenantConfig{
+		{Name: "sick", Domain: "electronics"},
+		{Name: "well", Domain: "ads"},
+	} {
+		if _, err := rg.Create(tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(rg.Handler())
+	defer ts.Close()
+
+	corpus := synth.Electronics(78, 2)
+	var docs []serve.DocumentUpload
+	for i := 0; i < 2; i++ {
+		docs = append(docs, uploadFor(corpus, i))
+	}
+	rg.Get("sick").FailNextPublishForTest("injected tenant failure")
+	postJSON(t, ts.URL+"/t/sick/ingest", map[string]any{"documents": docs}, http.StatusInternalServerError)
+
+	h := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if h["ok"] != false {
+		t.Fatalf("fleet healthz ok = %v with a degraded tenant", h["ok"])
+	}
+	for _, row := range h["tenants"].([]any) {
+		p := row.(map[string]any)
+		switch p["name"] {
+		case "sick":
+			if p["ok"] != false {
+				t.Fatalf("sick tenant reported healthy: %v", p)
+			}
+		case "well":
+			if p["ok"] != true {
+				t.Fatalf("well tenant caught its neighbor's degradation: %v", p)
+			}
+		}
+	}
+	list := getJSON(t, ts.URL+"/admin/tenants", http.StatusOK)
+	for _, row := range list["tenants"].([]any) {
+		p := row.(map[string]any)
+		if p["name"] == "sick" {
+			if _, ok := p["degraded"]; !ok {
+				t.Fatalf("tenant listing lacks degraded record: %v", p)
+			}
+		}
+	}
+}
+
+// TestKBRejectsDuplicateFilterParams is the regression test for the
+// silent vals[0] drop: /kb column filters are exact single-valued
+// matches, so repeating a filter parameter is a client error (400),
+// not a silent match on the first value. (OR-matching is explicitly
+// not a feature; the error says so.)
+func TestKBRejectsDuplicateFilterParams(t *testing.T) {
+	corpus := synth.Electronics(79, 4)
+	task := corpus.Tasks[0]
+	srv, err := serve.New(serve.Config{Task: task, Options: core.Options{Seed: 5, Epochs: 1, Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var docs []serve.DocumentUpload
+	for i := 0; i < 4; i++ {
+		docs = append(docs, uploadFor(corpus, i))
+	}
+	postJSON(t, ts.URL+"/ingest", map[string]any{"documents": docs}, http.StatusOK)
+
+	kb := getJSON(t, ts.URL+"/kb", http.StatusOK)
+	col := kb["columns"].([]any)[0].(string)
+
+	// One value per filter: fine (whether or not anything matches).
+	getJSON(t, ts.URL+"/kb?"+col+"=a", http.StatusOK)
+	// The same filter twice: rejected, with the column named.
+	resp := getJSON(t, ts.URL+"/kb?"+col+"=a&"+col+"=b", http.StatusBadRequest)
+	if msg, _ := resp["error"].(string); !strings.Contains(msg, col) {
+		t.Fatalf("duplicate-filter error does not name the column: %v", resp)
+	}
+}

@@ -1,0 +1,10 @@
+package serve
+
+// FailNextPublishForTest arms a one-shot fault in the next Ingest's
+// view build: the documents are applied to the store, then
+// publication fails with msg — exactly the shape of a real
+// retrain/hydration error. Fault injection for the degraded path;
+// tests only.
+func (s *Server) FailNextPublishForTest(msg string) {
+	s.publishFault.Store(&msg)
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -142,15 +143,27 @@ func parseUpload(u DocumentUpload) (*datamodel.Document, error) {
 
 // ---- Read endpoints.
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthzPayload is the per-session liveness summary; the registry
+// reuses it for its per-tenant aggregation. ok is false while the
+// session is degraded (applied-but-unpublished mutations).
+func (s *Server) healthzPayload() map[string]any {
 	v := s.CurrentView()
-	writeJSON(w, http.StatusOK, map[string]any{
+	p := map[string]any{
 		"ok":         true,
 		"epoch":      v.Epoch(),
 		"relation":   v.Relation(),
 		"docs":       v.NumDocs(),
 		"candidates": len(v.Candidates()),
-	})
+	}
+	if d := s.Degraded(); d != nil {
+		p["ok"] = false
+		p["degraded"] = d
+	}
+	return p
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthzPayload())
 }
 
 func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +194,17 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 		idx := schema.ColIndex(name)
 		if idx < 0 {
 			writeError(w, http.StatusBadRequest, "relation %s has no column %q", schema.Name, name)
+			return
+		}
+		// Column filters are exact single-valued matches. A repeated
+		// parameter (?part=X&part=Y) used to silently keep only the
+		// first value and return rows the client didn't ask for;
+		// rejecting it keeps the contract unambiguous (OR-matching is
+		// the documented non-feature — clients issue one request per
+		// value).
+		if len(vals) != 1 {
+			writeError(w, http.StatusBadRequest,
+				"column filter %q given %d times; filters accept exactly one value", name, len(vals))
 			return
 		}
 		filters = append(filters, colFilter{idx: idx, want: vals[0]})
@@ -361,6 +385,12 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metaPayload())
+}
+
+// metaPayload builds the full /meta body; the registry reuses it for
+// the default-tenant alias and decorates it with fleet-wide state.
+func (s *Server) metaPayload() map[string]any {
 	v := s.CurrentView()
 	schema := v.Schema()
 	cols := make([]map[string]string, schema.Arity())
@@ -374,7 +404,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	// peak proves the budget held), and whether the disk backend's
 	// page cache is absorbing the read traffic.
 	st := v.StorageStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	p := map[string]any{
 		"epoch":    v.Epoch(),
 		"relation": v.Relation(),
 		"schema":   map[string]any{"name": schema.Name, "columns": cols},
@@ -400,7 +430,11 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 			"pageCacheMisses":  st.PageCacheMisses,
 			"pageCacheHitRate": st.PageCacheHitRate,
 		},
-	})
+	}
+	if d := s.Degraded(); d != nil {
+		p["degraded"] = d
+	}
+	return p
 }
 
 // ---- Write endpoints.
@@ -429,7 +463,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := s.Ingest(docs)
 	if err != nil {
+		// Rejected batches (duplicate documents, parse-stage
+		// conflicts) are the client's problem; a partial ingest —
+		// documents applied but the epoch publication failed — is a
+		// server fault and flips the session to degraded.
 		status := http.StatusConflict
+		var partial *PartialIngestError
+		if errors.As(err, &partial) {
+			status = http.StatusInternalServerError
+		}
 		if err == errClosed {
 			status = http.StatusServiceUnavailable
 		}
@@ -503,8 +545,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	p := map[string]any{
 		"epoch": epoch,
 		"dir":   dir,
-	})
+	}
+	// A degraded session's snapshot contains applied-but-unpublished
+	// documents; say so instead of letting them ride along silently.
+	if d := s.Degraded(); d != nil {
+		p["degraded"] = d
+	}
+	writeJSON(w, http.StatusOK, p)
 }

@@ -1,0 +1,568 @@
+package serve
+
+// The multi-tenant session registry: one process, N isolated live
+// sessions. Each tenant is a full per-session serving unit — an owned
+// core.Store, a writer goroutine, an atomic epoch pointer — i.e.
+// exactly a Server; the Registry owns the fleet, routes
+// /t/<tenant>/... to it, and adds lifecycle (create/list/evict/
+// snapshot) plus fleet-wide health aggregation.
+//
+// # Isolation and sharing
+//
+// Tenants share nothing that carries state: stores, views, epochs and
+// snapshot directories are strictly per-tenant, so every tenant's
+// served epochs are bit-identical to a standalone single-tenant
+// Server over the same document batches (the registry race test pins
+// this). What tenants do share is machine capacity: the process-wide
+// pool.SetSharedLimit budget caps the total extra worker goroutines
+// across all tenants' pipeline stages, so one tenant's retrain
+// degrades toward sequential instead of starving the fleet — and
+// since every stage is bit-identical at any worker count, the cap
+// never changes results.
+//
+// # Routing
+//
+//	/t/<tenant>/kb|candidates|marginals|lfmetrics|features|meta|
+//	            ingest|classify|healthz|admin/snapshot
+//	                      per-tenant API (identical to a standalone Server)
+//	/kb, /ingest, ...     alias for the configured default tenant
+//	                      (the PR 3 single-tenant surface, preserved)
+//	GET    /admin/tenants           list tenants with epoch/doc/storage stats
+//	POST   /admin/tenants           create a tenant {name, domain, relation,
+//	                                backend, maxResidentDocs, workers, batch,
+//	                                epochs, seed}
+//	DELETE /admin/tenants/<name>    evict: remove from routing, Close the store
+//	GET    /healthz, /meta          registry-wide aggregation (default tenant's
+//	                                payload + per-tenant fleet summary)
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ResolveTask maps a (domain, relation) pair to the task definitions
+// a new tenant serves. Labeling functions are code, so the mapping
+// lives with the caller (cmd/fonduer-serve resolves through the
+// built-in domains); relation "" selects the domain's first task.
+type ResolveTask func(domain, relation string) (core.Task, []core.GoldTuple, error)
+
+// RegistryConfig assembles a Registry.
+type RegistryConfig struct {
+	// Resolve maps tenant (domain, relation) specs to tasks. Required.
+	Resolve ResolveTask
+	// BaseOptions seed every tenant's session options; per-tenant
+	// TenantConfig fields override them individually.
+	BaseOptions core.Options
+	// SnapshotRoot, when non-empty, roots per-tenant persistence:
+	// tenant <name> serving relation <rel> snapshots into (and resumes
+	// from) <SnapshotRoot>/<name>/<rel>.
+	SnapshotRoot string
+}
+
+// TenantConfig describes one tenant at creation time. It is the
+// POST /admin/tenants request body.
+type TenantConfig struct {
+	// Name addresses the tenant under /t/<name>/; [A-Za-z0-9_-]{1,64}.
+	Name string `json:"name"`
+	// Domain/Relation select the served task via the registry's
+	// resolver (relation "" = the domain's first).
+	Domain   string `json:"domain"`
+	Relation string `json:"relation,omitempty"`
+	// Backend picks the tenant's storage engine ("memory" or "disk";
+	// "" inherits the registry's base options / $FONDUER_BACKEND).
+	Backend string `json:"backend,omitempty"`
+	// MaxResidentDocs is the tenant's parsed-document budget (>0
+	// overrides the base; mostly-idle disk tenants run well at small
+	// budgets).
+	MaxResidentDocs int `json:"maxResidentDocs,omitempty"`
+	// Workers/Batch/Epochs/Seed override the corresponding base
+	// options when non-zero.
+	Workers int   `json:"workers,omitempty"`
+	Batch   int   `json:"batch,omitempty"`
+	Epochs  int   `json:"epochs,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// SnapshotDir, when set programmatically, overrides the
+	// <SnapshotRoot>/<name>/<relation> layout (cmd/fonduer-serve uses
+	// this to keep the legacy <store>/<relation> path for the default
+	// tenant). Not settable over HTTP.
+	SnapshotDir string `json:"-"`
+}
+
+// TenantStatus is one tenant's row in GET /admin/tenants and the
+// registry /meta aggregation.
+type TenantStatus struct {
+	Name     string `json:"name"`
+	Domain   string `json:"domain"`
+	Relation string `json:"relation"`
+	Default  bool   `json:"default"`
+	Resumed  bool   `json:"resumed"`
+
+	Epoch      uint64 `json:"epoch"`
+	Docs       int    `json:"docs"`
+	Candidates int    `json:"candidates"`
+	KBEntries  int    `json:"kbEntries"`
+
+	Backend          string `json:"backend"`
+	MaxResidentDocs  int    `json:"maxResidentDocs"`
+	ResidentDocs     int    `json:"residentDocs"`
+	PeakResidentDocs int    `json:"peakResidentDocs"`
+	DiskPages        int    `json:"diskPages"`
+
+	SnapshotDir string    `json:"snapshotDir,omitempty"`
+	Degraded    *Degraded `json:"degraded,omitempty"`
+}
+
+// Registry errors, wrapped with tenant context; the HTTP layer maps
+// them to status codes (409, 404).
+var (
+	ErrTenantExists   = errors.New("tenant already exists")
+	ErrUnknownTenant  = errors.New("unknown tenant")
+	errRegistryClosed = errors.New("serve: registry is closed")
+)
+
+var tenantName = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// tenantEntry is one live tenant: its immutable creation config, the
+// serving unit, and the cached per-tenant handler.
+type tenantEntry struct {
+	cfg     TenantConfig
+	srv     *Server
+	handler http.Handler
+	resumed bool
+}
+
+// Registry owns N named tenants and routes HTTP traffic to them.
+// Create with NewRegistry, add tenants with Create (or over HTTP),
+// attach Handler, Close when done (closes every tenant).
+type Registry struct {
+	resolve      ResolveTask
+	baseOpts     core.Options
+	snapshotRoot string
+
+	mu          sync.RWMutex
+	tenants     map[string]*tenantEntry
+	defaultName string
+	closed      bool
+}
+
+// NewRegistry builds an empty registry. The first tenant created
+// becomes the default (un-prefixed route alias) unless SetDefault
+// picks another.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Resolve == nil {
+		return nil, fmt.Errorf("serve: registry needs a task resolver")
+	}
+	return &Registry{
+		resolve:      cfg.Resolve,
+		baseOpts:     cfg.BaseOptions,
+		snapshotRoot: cfg.SnapshotRoot,
+		tenants:      map[string]*tenantEntry{},
+	}, nil
+}
+
+// tenantOptions layers one tenant's overrides onto the base options.
+func (rg *Registry) tenantOptions(tc TenantConfig) core.Options {
+	opts := rg.baseOpts
+	if tc.Backend != "" {
+		opts.Backend = tc.Backend
+	}
+	if tc.MaxResidentDocs > 0 {
+		opts.MaxResidentDocs = tc.MaxResidentDocs
+	}
+	if tc.Workers > 0 {
+		opts.Workers = tc.Workers
+	}
+	if tc.Batch > 0 {
+		opts.Batch = tc.Batch
+	}
+	if tc.Epochs > 0 {
+		opts.Epochs = tc.Epochs
+	}
+	if tc.Seed != 0 {
+		opts.Seed = tc.Seed
+	}
+	return opts
+}
+
+// Create builds, registers and (if a snapshot exists under its
+// snapshot directory) resumes a tenant. The first tenant created
+// becomes the registry default.
+func (rg *Registry) Create(tc TenantConfig) (*TenantStatus, error) {
+	if !tenantName.MatchString(tc.Name) {
+		return nil, fmt.Errorf("serve: bad tenant name %q (want [A-Za-z0-9_-]{1,64})", tc.Name)
+	}
+	if tc.Backend != "" && tc.Backend != "memory" && tc.Backend != "disk" {
+		return nil, fmt.Errorf("serve: tenant %q: unknown backend %q (want memory or disk)", tc.Name, tc.Backend)
+	}
+	task, gold, err := rg.resolve(tc.Domain, tc.Relation)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
+	}
+	tc.Relation = task.Relation
+
+	// Reserve the name before the (expensive) store build so two
+	// concurrent creates of the same name can't both win.
+	rg.mu.Lock()
+	if rg.closed {
+		rg.mu.Unlock()
+		return nil, errRegistryClosed
+	}
+	if _, ok := rg.tenants[tc.Name]; ok {
+		rg.mu.Unlock()
+		return nil, fmt.Errorf("serve: %w: %q", ErrTenantExists, tc.Name)
+	}
+	rg.tenants[tc.Name] = nil // reservation
+	rg.mu.Unlock()
+
+	entry, err := rg.buildTenant(tc, task, gold)
+	rg.mu.Lock()
+	if err != nil || rg.closed {
+		delete(rg.tenants, tc.Name)
+		rg.mu.Unlock()
+		if err == nil {
+			entry.srv.Close()
+			return nil, errRegistryClosed
+		}
+		return nil, err
+	}
+	rg.tenants[tc.Name] = entry
+	if rg.defaultName == "" {
+		rg.defaultName = tc.Name
+	}
+	status := rg.statusLocked(entry)
+	rg.mu.Unlock()
+	return &status, nil
+}
+
+func (rg *Registry) buildTenant(tc TenantConfig, task core.Task, gold []core.GoldTuple) (*tenantEntry, error) {
+	opts := rg.tenantOptions(tc)
+	snapDir := tc.SnapshotDir
+	if snapDir == "" && rg.snapshotRoot != "" {
+		snapDir = filepath.Join(rg.snapshotRoot, tc.Name, task.Relation)
+	}
+	tc.SnapshotDir = snapDir
+
+	var st *core.Store
+	resumed := false
+	if snapDir != "" && core.IsStoreDir(snapDir) {
+		var err error
+		st, err = core.OpenStore(snapDir, task, opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: resuming %s: %w", tc.Name, snapDir, err)
+		}
+		resumed = true
+	}
+	srv, err := New(Config{
+		Task:        task,
+		Options:     opts,
+		Gold:        gold,
+		Store:       st,
+		SnapshotDir: snapDir,
+	})
+	if err != nil {
+		if st != nil {
+			st.Close() // New only takes ownership on success
+		}
+		return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
+	}
+	return &tenantEntry{cfg: tc, srv: srv, handler: srv.Handler(), resumed: resumed}, nil
+}
+
+// SetDefault makes name the default tenant (the un-prefixed alias).
+func (rg *Registry) SetDefault(name string) error {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if e, ok := rg.tenants[name]; !ok || e == nil {
+		return fmt.Errorf("serve: %w: %q", ErrUnknownTenant, name)
+	}
+	rg.defaultName = name
+	return nil
+}
+
+// DefaultName returns the default tenant's name ("" when none).
+func (rg *Registry) DefaultName() string {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	return rg.defaultName
+}
+
+// Get returns a tenant's serving unit, or nil if unknown.
+func (rg *Registry) Get(name string) *Server {
+	if e := rg.lookup(name); e != nil {
+		return e.srv
+	}
+	return nil
+}
+
+func (rg *Registry) lookup(name string) *tenantEntry {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	e := rg.tenants[name] // nil for reservations in progress
+	return e
+}
+
+// Delete evicts a tenant: it disappears from routing immediately,
+// then its writer goroutine stops and its store (spill directory,
+// page files) is closed. In-flight reads finish against their
+// already-loaded views. The default tenant cannot be deleted — the
+// un-prefixed alias must keep resolving.
+func (rg *Registry) Delete(name string) error {
+	rg.mu.Lock()
+	e, ok := rg.tenants[name]
+	if !ok || e == nil {
+		rg.mu.Unlock()
+		return fmt.Errorf("serve: %w: %q", ErrUnknownTenant, name)
+	}
+	if name == rg.defaultName {
+		rg.mu.Unlock()
+		return fmt.Errorf("serve: tenant %q is the default tenant; pick a new default before evicting it", name)
+	}
+	delete(rg.tenants, name)
+	rg.mu.Unlock()
+	e.srv.Close()
+	return nil
+}
+
+// List returns every tenant's status, sorted by name.
+func (rg *Registry) List() []TenantStatus {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	out := make([]TenantStatus, 0, len(rg.tenants))
+	for _, e := range rg.tenants {
+		if e == nil {
+			continue // creation in progress
+		}
+		out = append(out, rg.statusLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// statusLocked builds one tenant's status row; rg.mu must be held.
+func (rg *Registry) statusLocked(e *tenantEntry) TenantStatus {
+	v := e.srv.CurrentView()
+	st := v.StorageStats()
+	return TenantStatus{
+		Name:             e.cfg.Name,
+		Domain:           e.cfg.Domain,
+		Relation:         e.cfg.Relation,
+		Default:          e.cfg.Name == rg.defaultName,
+		Resumed:          e.resumed,
+		Epoch:            v.Epoch(),
+		Docs:             v.NumDocs(),
+		Candidates:       len(v.Candidates()),
+		KBEntries:        v.KB().Len(),
+		Backend:          st.Backend,
+		MaxResidentDocs:  st.MaxResidentDocs,
+		ResidentDocs:     st.ResidentDocs,
+		PeakResidentDocs: st.PeakResidentDocs,
+		DiskPages:        st.DiskPages,
+		SnapshotDir:      e.cfg.SnapshotDir,
+		Degraded:         e.srv.Degraded(),
+	}
+}
+
+// Close shuts every tenant down (writer goroutines stopped, stores
+// and their spill directories released) and rejects subsequent
+// registry operations. Safe to call more than once.
+func (rg *Registry) Close() {
+	rg.mu.Lock()
+	if rg.closed {
+		rg.mu.Unlock()
+		return
+	}
+	rg.closed = true
+	entries := make([]*tenantEntry, 0, len(rg.tenants))
+	for _, e := range rg.tenants {
+		if e != nil {
+			entries = append(entries, e)
+		}
+	}
+	rg.tenants = map[string]*tenantEntry{}
+	rg.mu.Unlock()
+	for _, e := range entries {
+		e.srv.Close()
+	}
+}
+
+// ---- HTTP surface.
+
+// Handler returns the registry's HTTP API: per-tenant routes under
+// /t/<name>/, the default-tenant alias at the root, tenant lifecycle
+// under /admin/tenants, and fleet-wide /healthz + /meta.
+func (rg *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /admin/tenants", rg.handleList)
+	mux.HandleFunc("POST /admin/tenants", rg.handleCreate)
+	mux.HandleFunc("DELETE /admin/tenants/{name}", rg.handleDelete)
+	mux.HandleFunc("GET /healthz", rg.handleHealthz)
+	mux.HandleFunc("GET /meta", rg.handleMeta)
+	mux.HandleFunc("/t/{tenant}", rg.handleTenant) // no trailing path: still resolve, 404 cleanly
+	mux.HandleFunc("/t/{tenant}/", rg.handleTenant)
+	mux.HandleFunc("/", rg.handleDefaultAlias)
+	return mux
+}
+
+// handleTenant routes /t/<name>/<rest> to the tenant's own handler
+// with the prefix stripped, so the per-tenant API is byte-identical
+// to a standalone Server's.
+func (rg *Registry) handleTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	e := rg.lookup(name)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	http.StripPrefix("/t/"+name, e.handler).ServeHTTP(w, r)
+}
+
+// handleDefaultAlias serves the un-prefixed PR 3 routes (/kb,
+// /ingest, /admin/snapshot, ...) against the default tenant.
+func (rg *Registry) handleDefaultAlias(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	e := rg.tenants[rg.defaultName]
+	closed := rg.closed
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no default tenant configured (create one via POST /admin/tenants)")
+		return
+	}
+	e.handler.ServeHTTP(w, r)
+}
+
+func (rg *Registry) handleList(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	closed := rg.closed
+	def := rg.defaultName
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": def,
+		"tenants": rg.List(),
+	})
+}
+
+func (rg *Registry) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var tc TenantConfig
+	if !readJSON(w, r, &tc) {
+		return
+	}
+	status, err := rg.Create(tc)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrTenantExists):
+			code = http.StatusConflict
+		case errors.Is(err, errRegistryClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, status)
+}
+
+func (rg *Registry) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := rg.Delete(name); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownTenant) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+// handleHealthz aggregates fleet health. The payload is a superset of
+// the single-tenant /healthz: the default tenant's summary at the top
+// level (PR 3 clients keep working), plus a per-tenant roll-up; ok is
+// the conjunction over every tenant.
+func (rg *Registry) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	def := rg.tenants[rg.defaultName]
+	defName := rg.defaultName
+	entries := rg.sortedEntriesLocked()
+	closed := rg.closed
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	ok := true
+	perTenant := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		p := e.srv.healthzPayload()
+		p["name"] = e.cfg.Name
+		if p["ok"] != true {
+			ok = false
+		}
+		perTenant = append(perTenant, p)
+	}
+	base := map[string]any{}
+	if def != nil {
+		base = def.healthzBase()
+	}
+	base["ok"] = ok
+	base["default"] = defName
+	base["tenants"] = perTenant
+	writeJSON(w, http.StatusOK, base)
+}
+
+// healthzBase is the default tenant's healthz payload without the
+// fleet fields the registry overwrites.
+func (e *tenantEntry) healthzBase() map[string]any {
+	return e.srv.healthzPayload()
+}
+
+// handleMeta serves the registry-wide /meta: the default tenant's
+// full metadata (alias compatibility) decorated with a "registry"
+// section carrying the fleet's per-tenant stats.
+func (rg *Registry) handleMeta(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	def := rg.tenants[rg.defaultName]
+	defName := rg.defaultName
+	closed := rg.closed
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	p := map[string]any{}
+	if def != nil {
+		p = def.srv.metaPayload()
+	}
+	p["registry"] = map[string]any{
+		"default": defName,
+		"tenants": rg.List(),
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// sortedEntriesLocked snapshots the live tenants in name order;
+// rg.mu must be held.
+func (rg *Registry) sortedEntriesLocked() []*tenantEntry {
+	out := make([]*tenantEntry, 0, len(rg.tenants))
+	for _, e := range rg.tenants {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}

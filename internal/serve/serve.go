@@ -59,8 +59,9 @@ type Config struct {
 	SnapshotDir string
 }
 
-// Server serves one extraction session over HTTP. Create with New,
-// attach Handler to an http.Server, and Close when done.
+// Server serves one extraction session over HTTP — standalone, or as
+// one tenant of a Registry. Create with New, attach Handler to an
+// http.Server, and Close when done.
 type Server struct {
 	gold        []core.GoldTuple
 	snapshotDir string
@@ -71,11 +72,62 @@ type Server struct {
 
 	view atomic.Pointer[core.StoreView]
 
+	// degraded is set when an ingest applied its documents to the
+	// store but epoch publication failed (see PartialIngestError):
+	// readers keep the previous epoch while the store carries the new
+	// documents. Cleared by the next successful publication, which
+	// folds the pending documents into its epoch.
+	degraded atomic.Pointer[Degraded]
+
+	// publishFault, when armed (tests only, via
+	// FailNextPublishForTest), makes the next Ingest's view build fail
+	// — fault injection for the degraded path.
+	publishFault atomic.Pointer[string]
+
 	reqs      chan writerReq
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
+
+// Degraded describes a session whose store holds mutations that no
+// published epoch serves yet. It is the explicit form of the
+// partial-ingest failure mode: without it, documents stuck between
+// "applied" and "published" would silently ride along with the next
+// unrelated publish or snapshot.
+type Degraded struct {
+	// Err is the publication failure that stranded the documents.
+	Err string `json:"error"`
+	// PendingDocs names the applied-but-unpublished documents.
+	PendingDocs []string `json:"pendingDocs"`
+	// StoreEpoch counts the store's applied mutations; ServedEpoch is
+	// the epoch readers still observe. StoreEpoch > ServedEpoch is the
+	// degradation gap.
+	StoreEpoch  uint64 `json:"storeEpoch"`
+	ServedEpoch uint64 `json:"servedEpoch"`
+}
+
+// Degraded returns the current degradation record, or nil when every
+// applied mutation is published. Surfaced in /healthz (ok=false),
+// /meta, and the registry's tenant listing.
+func (s *Server) Degraded() *Degraded { return s.degraded.Load() }
+
+// PartialIngestError is returned by Ingest when the document batch
+// was applied to the store but building/publishing the next epoch's
+// view failed (e.g. a disk-backend hydration error during retrain).
+// The server is marked Degraded until a later publication succeeds;
+// the pending documents are then folded into that epoch.
+type PartialIngestError struct {
+	Docs []string
+	Err  error
+}
+
+func (e *PartialIngestError) Error() string {
+	return fmt.Sprintf("serve: ingest applied %d document(s) but publishing the new epoch failed "+
+		"(session degraded; readers stay on the previous epoch): %v", len(e.Docs), e.Err)
+}
+
+func (e *PartialIngestError) Unwrap() error { return e.Err }
 
 // writerReq is one serialized unit of writer-goroutine work.
 type writerReq struct {
@@ -174,11 +226,38 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 		if err := st.AddDocuments(docs...); err != nil {
 			return nil, err
 		}
-		view, err := st.View(s.gold)
-		if err != nil {
-			return nil, err
+		var view *core.StoreView
+		verr := error(nil)
+		if msg := s.publishFault.Swap(nil); msg != nil {
+			verr = fmt.Errorf("%s", *msg)
+		} else {
+			view, verr = st.View(s.gold)
+		}
+		if verr != nil {
+			// The documents are in the store but no epoch serves them:
+			// record the gap explicitly instead of letting the next
+			// unrelated publish or snapshot silently include them.
+			names := make([]string, len(docs))
+			for i, d := range docs {
+				names[i] = d.Name
+			}
+			served := uint64(0)
+			if v := s.view.Load(); v != nil {
+				served = v.Epoch()
+			}
+			s.degraded.Store(&Degraded{
+				Err:         verr.Error(),
+				PendingDocs: names,
+				StoreEpoch:  st.Epoch(),
+				ServedEpoch: served,
+			})
+			return nil, &PartialIngestError{Docs: names, Err: verr}
 		}
 		s.view.Store(view)
+		// A successful publication serves every applied mutation,
+		// including any previously stranded documents: the degradation
+		// is over, and the recovery is explicit in the epoch payload.
+		s.degraded.Store(nil)
 		return view, nil
 	})
 	if err != nil {
