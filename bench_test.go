@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/features"
+	"repro/internal/kbase"
 	"repro/internal/model"
 	"repro/internal/nlp"
 	"repro/internal/parser"
@@ -309,6 +311,18 @@ func benchServeRead(b *testing.B, paths []string) {
 		b.Fatal(err)
 	}
 	handler := srv.Handler()
+	// Warm up every route before the clock starts: the first request
+	// pays one-time lazy initialization (JSON encoder states, route
+	// dispatch, view field materialization) that showed up as a ~2x
+	// cold-start outlier in the recorded baselines and widened
+	// benchgate's median-of-3 gate for no signal.
+	for _, path := range paths {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm-up status %d for %s", rec.Code, path)
+		}
+	}
 	b.ResetTimer()
 	start := time.Now()
 	b.RunParallel(func(pb *testing.PB) {
@@ -327,6 +341,83 @@ func benchServeRead(b *testing.B, paths []string) {
 	})
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "queries/sec")
+	}
+}
+
+// BenchmarkServeKBFilteredRead measures the serving layer's filtered
+// KB read primitive — Table.PageWhere, the storage call behind
+// /kb?col=value — with a selective filter over a multi-page
+// disk-backed table (32 default-geometry pages, one group value per
+// page, so zone maps can prune 31 of them). The timed path is the
+// pushdown plan the /kb handler now uses; the legacy scan-and-clone
+// loop it replaced is measured once per run and reported as
+// legacy_ns/op alongside the speedup ratio, so the win is visible in
+// every benchmark log.
+func BenchmarkServeKBFilteredRead(b *testing.B) {
+	engine, err := kbase.NewDiskEngine(filepath.Join(b.TempDir(), "spill"), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := kbase.NewDBWith(engine)
+	defer db.Close()
+	schema, err := kbase.NewSchema("kb", "part", "grp", "n:integer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := db.Create(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 4096 // 32 full pages of 128 rows
+	for i := 0; i < rows; i++ {
+		if _, err := tbl.Insert(kbase.Tuple{fmt.Sprintf("p%05d", i), fmt.Sprintf("g%03d", i/128), i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Zone-map scan plan only: the acceptance contrast is
+	// pushdown+zone maps vs scan-and-clone, not index lookups.
+	tbl.SetAutoIndex(false)
+	preds := []kbase.Pred{{Col: 1, Want: "g007"}}
+	const offset, limit, matches = 0, 50, 128
+
+	// Legacy comparator: full Scan, fmt.Sprint per row, clone every
+	// match, then slice the window — the /kb filtered path before
+	// pushdown.
+	legacy := func() {
+		var all []kbase.Tuple
+		tbl.Scan(func(tp kbase.Tuple) bool {
+			if fmt.Sprint(tp[1]) == "g007" {
+				all = append(all, tp.Clone())
+			}
+			return true
+		})
+		if len(all) != matches {
+			b.Fatalf("legacy matched %d rows", len(all))
+		}
+		_ = all[offset : offset+limit]
+	}
+	const legacyIters = 8
+	lstart := time.Now()
+	for i := 0; i < legacyIters; i++ {
+		legacy()
+	}
+	legacyNs := float64(time.Since(lstart).Nanoseconds()) / legacyIters
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		page, total := tbl.PageWhere(preds, offset, limit)
+		if total != matches || len(page) != limit {
+			b.Fatalf("PageWhere: %d rows, total %d", len(page), total)
+		}
+	}
+	elapsed := time.Since(start)
+	if st := tbl.BackendStats(); st.PagesSkipped == 0 {
+		b.Fatal("zone maps pruned nothing")
+	}
+	if ns := float64(elapsed.Nanoseconds()) / float64(b.N); ns > 0 {
+		b.ReportMetric(legacyNs, "legacy_ns/op")
+		b.ReportMetric(legacyNs/ns, "speedup_x")
 	}
 }
 
@@ -363,6 +454,15 @@ func BenchmarkServeMultiTenantRead(b *testing.B) {
 		paths = append(paths, "/t/"+name+"/kb", "/t/"+name+"/meta")
 	}
 	handler := rg.Handler()
+	// Warm sweep before the clock starts, for the same cold-start
+	// reason as benchServeRead.
+	for _, path := range paths {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm-up status %d for %s", rec.Code, path)
+		}
+	}
 	b.ResetTimer()
 	start := time.Now()
 	// One op sweeps every tenant route once, so even a single-iteration

@@ -315,11 +315,12 @@ func (s *Store) docRelationRows(table string, first, count, docCol int, name str
 			}
 		}
 	}
+	// Push the doc-name filter into storage: on the disk backend the
+	// scan then skips pages whose zone maps exclude the name instead of
+	// decoding the whole relation.
 	var out []kbase.Tuple
-	tbl.Scan(func(tp kbase.Tuple) bool {
-		if tp[docCol].(string) == name {
-			out = append(out, tp.Clone())
-		}
+	tbl.ScanWhere([]kbase.Pred{{Col: docCol, Want: name}}, func(tp kbase.Tuple) bool {
+		out = append(out, tp.Clone())
 		return true
 	})
 	return out
@@ -421,6 +422,11 @@ type StorageStats struct {
 	DiskPages                      int
 	PageCacheHits, PageCacheMisses int64
 	PageCacheHitRate               float64
+	// PagesSkipped counts disk pages pruned by zone maps on filtered
+	// reads; IndexHits / FullScans count how filtered reads were
+	// planned (hash index vs scan).
+	PagesSkipped         int64
+	IndexHits, FullScans int64
 }
 
 // StorageStats reports the store's current storage counters. Like all
@@ -438,5 +444,8 @@ func (s *Store) StorageStats() StorageStats {
 		PageCacheHits:    dbs.CacheHits,
 		PageCacheMisses:  dbs.CacheMisses,
 		PageCacheHitRate: dbs.HitRate(),
+		PagesSkipped:     dbs.PagesSkipped,
+		IndexHits:        dbs.IndexHits,
+		FullScans:        dbs.FullScans,
 	}
 }

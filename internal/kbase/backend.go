@@ -4,7 +4,112 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
+	"strconv"
 )
+
+// Pred is one pushed-down predicate: an exact equality test between a
+// column's *rendered* value (what fmt.Sprint produces — the contract
+// the serving layer's /kb column filters already expose) and Want.
+// Multiple predicates conjoin. Rendered-value semantics keep pushdown
+// bit-identical to the legacy filter loop: a non-canonical probe like
+// "007" or "+7" against an integer column matches nothing, exactly as
+// string-comparing fmt.Sprint output did.
+type Pred struct {
+	// Col is the schema column index.
+	Col int
+	// Want is the rendered value to match exactly.
+	Want string
+}
+
+// renderCell renders a stored cell exactly as fmt.Sprint does, with
+// allocation-free fast paths for the three normalized storage types.
+func renderCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// matcher is a compiled predicate conjunction. Compilation happens
+// once per query so the per-row check avoids fmt in the hot loop:
+// string columns compare directly, integer columns compare parsed
+// int64s (after proving the probe is the canonical rendering), and
+// everything else falls back to the rendered comparison.
+type matcher struct {
+	// impossible marks a conjunction no row can satisfy (a probe that
+	// is not the canonical rendering of any value of its column type).
+	impossible bool
+	preds      []compiledPred
+}
+
+type compiledPred struct {
+	col    int
+	want   string // rendered probe (zone-map checks use this)
+	intVal int64  // parsed probe when intOK
+	intOK  bool
+}
+
+// compilePreds compiles a conjunction against the schema. The preds
+// slice is not retained; predicates are evaluated in ascending column
+// order so plan choice is deterministic regardless of caller ordering.
+func compilePreds(schema Schema, preds []Pred) matcher {
+	m := matcher{preds: make([]compiledPred, 0, len(preds))}
+	for _, p := range preds {
+		cp := compiledPred{col: p.Col, want: p.Want}
+		if p.Col < 0 || p.Col >= schema.Arity() {
+			m.impossible = true
+			return m
+		}
+		if schema.Columns[p.Col].Type == IntCol {
+			n, err := strconv.ParseInt(p.Want, 10, 64)
+			if err == nil && strconv.FormatInt(n, 10) == p.Want {
+				cp.intVal, cp.intOK = n, true
+			} else {
+				// fmt.Sprint(int64) only ever emits the canonical
+				// rendering, so a non-canonical probe matches nothing.
+				m.impossible = true
+				return m
+			}
+		}
+		m.preds = append(m.preds, cp)
+	}
+	sort.SliceStable(m.preds, func(i, j int) bool { return m.preds[i].col < m.preds[j].col })
+	return m
+}
+
+// match reports whether the row satisfies every predicate. Rows are
+// trusted to be normalized (Table.Insert widened ints to int64), with
+// a rendered-comparison fallback for anything unexpected.
+func (m matcher) match(tp Tuple) bool {
+	for _, p := range m.preds {
+		v := tp[p.col]
+		if p.intOK {
+			if n, ok := v.(int64); ok {
+				if n != p.intVal {
+					return false
+				}
+				continue
+			}
+		}
+		if s, ok := v.(string); ok {
+			if s != p.want {
+				return false
+			}
+			continue
+		}
+		if renderCell(v) != p.want {
+			return false
+		}
+	}
+	return true
+}
 
 // Backend is the pluggable row-storage engine behind a Table. A Table
 // owns exactly one backend and layers relational semantics on top of
@@ -48,6 +153,17 @@ type Backend interface {
 	// offset; limit <= 0 means "to the end", offsets past the end
 	// return nil.
 	Page(offset, limit int) []Tuple
+	// ScanWhere calls fn for each row satisfying every predicate, in
+	// insertion order, until fn returns false. The tuple is borrowed.
+	// Backends may prune storage regions (disk pages) that provably
+	// contain no match, but must never skip a matching row.
+	ScanWhere(preds []Pred, fn func(Tuple) bool)
+	// PageWhere returns detached clones of up to limit matching rows
+	// starting at the offset-th match (same offset/limit semantics as
+	// Page), plus the exact total number of matching rows. Cloning
+	// stops once the window fills; counting always runs to the end so
+	// total is exact on every backend and plan.
+	PageWhere(preds []Pred, offset, limit int) ([]Tuple, int)
 	// DeleteWhere removes rows satisfying pred, returning how many
 	// were removed.
 	DeleteWhere(pred func(Tuple) bool) int
@@ -62,13 +178,23 @@ type Backend interface {
 	Close() error
 }
 
-// BackendStats are one backend's paging counters.
+// BackendStats are one backend's paging and query-plan counters. The
+// paging counters come from the backend itself; the plan counters
+// (IndexHits, FullScans) are recorded by the Table-level planner and
+// merged in by Table.BackendStats.
 type BackendStats struct {
 	// Pages counts full row pages currently on disk.
 	Pages int
 	// CacheHits / CacheMisses count page-cache lookups. A miss reads
 	// and decodes one page file.
 	CacheHits, CacheMisses int64
+	// PagesSkipped counts disk pages pruned by zone maps during
+	// filtered reads — pages never read, decoded, or cached.
+	PagesSkipped int64
+	// IndexHits counts filtered reads answered through a hash index;
+	// FullScans counts filtered reads that had to scan (on the disk
+	// engine, still zone-map pruned).
+	IndexHits, FullScans int64
 }
 
 // Engine creates backends — one per table — sharing a storage policy
@@ -106,13 +232,16 @@ type MemoryEngine struct{}
 func (MemoryEngine) Kind() string { return "memory" }
 
 // NewBackend creates an empty in-memory backend.
-func (MemoryEngine) NewBackend(Schema) (Backend, error) { return &memoryBackend{}, nil }
+func (MemoryEngine) NewBackend(schema Schema) (Backend, error) {
+	return &memoryBackend{schema: schema}, nil
+}
 
 // Close is a no-op.
 func (MemoryEngine) Close() error { return nil }
 
 // memoryBackend stores rows in a slice.
 type memoryBackend struct {
+	schema Schema
 	tuples []Tuple
 }
 
@@ -145,6 +274,43 @@ func (b *memoryBackend) Page(offset, limit int) []Tuple {
 		out = append(out, tp.Clone())
 	}
 	return out
+}
+
+func (b *memoryBackend) ScanWhere(preds []Pred, fn func(Tuple) bool) {
+	m := compilePreds(b.schema, preds)
+	if m.impossible {
+		return
+	}
+	// Tight loop: no clone, no fmt — match borrows the stored tuple.
+	for _, tp := range b.tuples {
+		if m.match(tp) && !fn(tp) {
+			return
+		}
+	}
+}
+
+func (b *memoryBackend) PageWhere(preds []Pred, offset, limit int) ([]Tuple, int) {
+	m := compilePreds(b.schema, preds)
+	if m.impossible {
+		return nil, 0
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	var out []Tuple
+	total := 0
+	for _, tp := range b.tuples {
+		if !m.match(tp) {
+			continue
+		}
+		// Clone only in-window matches; keep counting past the window
+		// so total is exact.
+		if total >= offset && (limit <= 0 || len(out) < limit) {
+			out = append(out, tp.Clone())
+		}
+		total++
+	}
+	return out, total
 }
 
 func (b *memoryBackend) DeleteWhere(pred func(Tuple) bool) int {

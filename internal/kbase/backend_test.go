@@ -118,13 +118,13 @@ func TestBackendPageEdgeCases(t *testing.T) {
 			want          []string
 		}{
 			{0, 3, []string{"p00", "p01", "p02"}},
-			{3, 4, []string{"p03", "p04", "p05", "p06"}}, // crosses a page boundary
-			{8, 0, []string{"p08", "p09"}},               // limit 0 = to the end
-			{8, -1, []string{"p08", "p09"}},              // negative limit = to the end
-			{9, 5, []string{"p09"}},                      // window clipped at the end
-			{10, 1, nil},                                 // offset == len
-			{99, 2, nil},                                 // offset past the end
-			{-2, 2, []string{"p00", "p01"}},              // negative offset clamps to 0
+			{3, 4, []string{"p03", "p04", "p05", "p06"}},    // crosses a page boundary
+			{8, 0, []string{"p08", "p09"}},                  // limit 0 = to the end
+			{8, -1, []string{"p08", "p09"}},                 // negative limit = to the end
+			{9, 5, []string{"p09"}},                         // window clipped at the end
+			{10, 1, nil},                                    // offset == len
+			{99, 2, nil},                                    // offset past the end
+			{-2, 2, []string{"p00", "p01"}},                 // negative offset clamps to 0
 			{7, math.MaxInt, []string{"p07", "p08", "p09"}}, // huge limit must not overflow
 			{0, 0, []string{"p00", "p01", "p02", "p03", "p04", "p05", "p06", "p07", "p08", "p09"}},
 		}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Default disk-engine geometry: rows per page and cached pages per
@@ -135,10 +136,21 @@ type diskBackend struct {
 	pages int     // full pages on disk
 	tail  []Tuple // rows past the last full page
 
+	// zones holds one pageZone per full page, built when the page is
+	// flushed (and rebuilt wholesale on DeleteWhere rewrites). Each
+	// element is immutable once appended, so filtered reads may probe
+	// a length-snapshot of the slice without holding mu. Sidecar
+	// files (pNNNNNNNN.zm) persist the same data next to each page.
+	zones []pageZone
+
 	cached map[int]*list.Element // page -> lru element
 	lru    *list.List            // front = most recent
 	hits   int64
 	misses int64
+	// skipped counts pages pruned by zone maps; atomic because the
+	// pruning happens outside mu (mirroring Scan's unlocked callback
+	// convention).
+	skipped atomic.Int64
 }
 
 // cachedPage is one decoded page in the LRU.
@@ -157,6 +169,10 @@ func (b *diskBackend) Len() int {
 
 func (b *diskBackend) pagePath(p int) string {
 	return filepath.Join(b.dir, fmt.Sprintf("p%08d.tsv", p))
+}
+
+func (b *diskBackend) zonePath(p int) string {
+	return filepath.Join(b.dir, fmt.Sprintf("p%08d.zm", p))
 }
 
 // writePage encodes rows into the page file at p.
@@ -240,11 +256,20 @@ func (b *diskBackend) Append(tp Tuple) error {
 	b.tail = append(b.tail, tp)
 	b.n++
 	if len(b.tail) == b.pageRows {
+		z := buildPageZone(b.schema, b.tail)
 		if err := b.writePage(b.pages, b.tail); err != nil {
 			b.tail = b.tail[:len(b.tail)-1]
 			b.n--
 			return fmt.Errorf("kbase: flushing page for %s: %w", b.schema.Name, err)
 		}
+		if err := writeZoneFile(b.zonePath(b.pages), z); err != nil {
+			// Roll the whole flush back so page and sidecar stay paired.
+			os.Remove(b.pagePath(b.pages))
+			b.tail = b.tail[:len(b.tail)-1]
+			b.n--
+			return fmt.Errorf("kbase: flushing zone map for %s: %w", b.schema.Name, err)
+		}
+		b.zones = append(b.zones, z)
 		b.pages++
 		b.tail = nil
 	}
@@ -311,6 +336,66 @@ func (b *diskBackend) Page(offset, limit int) []Tuple {
 	return out
 }
 
+// scanMatches drives both filtered read paths: it walks pages in
+// insertion order, consults each page's zone map before loading, and
+// calls fn (unlocked, same convention as Scan) for every matching
+// row until fn returns false. Pruned pages are never read, decoded,
+// or admitted to the LRU cache.
+func (b *diskBackend) scanMatches(m matcher, fn func(Tuple) bool) {
+	b.mu.Lock()
+	pages, tail, zones := b.pages, b.tail, b.zones
+	b.mu.Unlock()
+	for p := 0; p < pages; p++ {
+		if p < len(zones) && !zones[p].mayMatch(m) {
+			b.skipped.Add(1)
+			continue
+		}
+		b.mu.Lock()
+		rows := b.load(p)
+		b.mu.Unlock()
+		for _, tp := range rows {
+			if m.match(tp) && !fn(tp) {
+				return
+			}
+		}
+	}
+	for _, tp := range tail {
+		if m.match(tp) && !fn(tp) {
+			return
+		}
+	}
+}
+
+func (b *diskBackend) ScanWhere(preds []Pred, fn func(Tuple) bool) {
+	m := compilePreds(b.schema, preds)
+	if m.impossible {
+		return
+	}
+	b.scanMatches(m, fn)
+}
+
+func (b *diskBackend) PageWhere(preds []Pred, offset, limit int) ([]Tuple, int) {
+	m := compilePreds(b.schema, preds)
+	if m.impossible {
+		return nil, 0
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	var out []Tuple
+	total := 0
+	b.scanMatches(m, func(tp Tuple) bool {
+		// Clone only in-window matches; keep counting past the window
+		// so total is exact (zone maps make the remainder cheap).
+		if total >= offset && (limit <= 0 || len(out) < limit) {
+			out = append(out, tp.Clone())
+		}
+		total++
+		return true
+	})
+	return out, total
+}
+
 func (b *diskBackend) DeleteWhere(pred func(Tuple) bool) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -328,10 +413,16 @@ func (b *diskBackend) DeleteWhere(pred func(Tuple) bool) int {
 	}{b.dir, b.pages, b.tail}
 	kept := make([]Tuple, 0, b.pageRows)
 	newPages, keptN, deleted := 0, 0, 0
+	var newZones []pageZone
 	flush := func() {
 		if err := writePageFile(filepath.Join(tmp, fmt.Sprintf("p%08d.tsv", newPages)), kept); err != nil {
 			panic(fmt.Sprintf("kbase: disk backend for %s: delete rewrite: %v", b.schema.Name, err))
 		}
+		z := buildPageZone(b.schema, kept)
+		if err := writeZoneFile(filepath.Join(tmp, fmt.Sprintf("p%08d.zm", newPages)), z); err != nil {
+			panic(fmt.Sprintf("kbase: disk backend for %s: delete rewrite: %v", b.schema.Name, err))
+		}
+		newZones = append(newZones, z)
 		newPages++
 		kept = kept[:0]
 	}
@@ -365,6 +456,7 @@ func (b *diskBackend) DeleteWhere(pred func(Tuple) bool) int {
 		panic(fmt.Sprintf("kbase: disk backend for %s: delete swap: %v", b.schema.Name, err))
 	}
 	b.pages = newPages
+	b.zones = newZones
 	b.tail = append([]Tuple(nil), kept...)
 	b.n = keptN
 	b.invalidate()
@@ -401,13 +493,26 @@ func (b *diskBackend) Snapshot(w io.Writer) error {
 func (b *diskBackend) Stats() BackendStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return BackendStats{Pages: b.pages, CacheHits: b.hits, CacheMisses: b.misses}
+	return BackendStats{
+		Pages:        b.pages,
+		CacheHits:    b.hits,
+		CacheMisses:  b.misses,
+		PagesSkipped: b.skipped.Load(),
+	}
+}
+
+// pageZones returns the backend's current zone maps (immutable per
+// element). SaveDB uses it to emit derived `<table>.zm` sidecars.
+func (b *diskBackend) pageZones() []pageZone {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.zones
 }
 
 func (b *diskBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.invalidate()
-	b.tail, b.n, b.pages = nil, 0, 0
+	b.tail, b.n, b.pages, b.zones = nil, 0, 0, nil
 	return os.RemoveAll(b.dir)
 }

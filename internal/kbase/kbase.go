@@ -148,6 +148,7 @@ type Table struct {
 	schema Schema
 	be     Backend
 	index  map[uint64][]int // hash of canonical key -> candidate positions
+	plan   *planner         // filtered-read planner (lazy hash indexes)
 }
 
 // NewTable creates an empty in-memory table for the schema.
@@ -158,20 +159,29 @@ func NewTable(schema Schema) *Table {
 
 // newTableWith wraps an empty backend in a table.
 func newTableWith(schema Schema, be Backend) *Table {
-	return &Table{schema: schema, be: be, index: map[uint64][]int{}}
+	return &Table{schema: schema, be: be, index: map[uint64][]int{}, plan: newPlanner()}
 }
 
 // BackendKind names the table's storage backend.
 func (t *Table) BackendKind() string { return t.be.Kind() }
 
 // BackendStats reports the table's paging counters (zero-valued for
-// the in-memory backend).
-func (t *Table) BackendStats() BackendStats { return t.be.Stats() }
+// the in-memory backend) merged with the planner's plan-choice
+// counters.
+func (t *Table) BackendStats() BackendStats {
+	bs := t.be.Stats()
+	t.plan.mu.Lock()
+	bs.IndexHits = t.plan.indexHits
+	bs.FullScans = t.plan.fullScans
+	t.plan.mu.Unlock()
+	return bs
+}
 
 // Close releases the table's backend resources (disk pages). The
 // table is unusable afterwards.
 func (t *Table) Close() error {
 	t.index = nil
+	t.plan.invalidate()
 	return t.be.Close()
 }
 
@@ -271,6 +281,7 @@ func (t *Table) Insert(tp Tuple) (bool, error) {
 	}
 	h := hashKey(k)
 	t.index[h] = append(t.index[h], pos)
+	t.plan.invalidate()
 	return true, nil
 }
 
@@ -300,6 +311,7 @@ func (t *Table) Delete(tp Tuple) bool {
 	// Set semantics: exactly one stored row carries this key.
 	t.be.DeleteWhere(func(row Tuple) bool { return t.key(row) == k })
 	t.rebuildIndex()
+	t.plan.invalidate()
 	return true
 }
 
@@ -309,6 +321,7 @@ func (t *Table) DeleteWhere(pred func(Tuple) bool) int {
 	deleted := t.be.DeleteWhere(pred)
 	if deleted > 0 {
 		t.rebuildIndex()
+		t.plan.invalidate()
 	}
 	return deleted
 }
@@ -411,7 +424,8 @@ func (db *DB) Close() error {
 	return firstErr
 }
 
-// DBStats aggregates the paging counters of every table's backend.
+// DBStats aggregates the paging and query-plan counters of every
+// table's backend.
 type DBStats struct {
 	// Backend is the engine kind ("memory" or "disk").
 	Backend string
@@ -419,6 +433,12 @@ type DBStats struct {
 	Pages int
 	// CacheHits / CacheMisses sum the tables' page-cache lookups.
 	CacheHits, CacheMisses int64
+	// PagesSkipped sums disk pages pruned by zone maps on filtered
+	// reads.
+	PagesSkipped int64
+	// IndexHits / FullScans sum the tables' filtered-read plan
+	// choices: answered through a hash index vs scanned.
+	IndexHits, FullScans int64
 }
 
 // HitRate returns the page-cache hit fraction (0 when no lookups).
@@ -438,6 +458,9 @@ func (db *DB) Stats() DBStats {
 		out.Pages += bs.Pages
 		out.CacheHits += bs.CacheHits
 		out.CacheMisses += bs.CacheMisses
+		out.PagesSkipped += bs.PagesSkipped
+		out.IndexHits += bs.IndexHits
+		out.FullScans += bs.FullScans
 	}
 	return out
 }

@@ -277,6 +277,26 @@ func SaveDB(db *DB, dir string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+		// Disk-backed tables also drop a derived "<table>.zm" sidecar
+		// with their page zone maps. It is pure metadata: MANIFEST does
+		// not list it, LoadDB never reads it (restores rebuild zones by
+		// re-inserting rows), and snapshot byte-equality across backends
+		// is defined over the MANIFEST'd .tsv files only.
+		if be, ok := db.Table(name).be.(*diskBackend); ok {
+			if zones := be.pageZones(); len(zones) > 0 {
+				zf, err := os.Create(filepath.Join(tmp, name+".zm"))
+				if err != nil {
+					return err
+				}
+				if err := writeTableZones(zf, zones); err != nil {
+					zf.Close()
+					return err
+				}
+				if err := zf.Close(); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if err := os.WriteFile(filepath.Join(tmp, manifestName), []byte(strings.Join(names, "\n")+"\n"), 0o644); err != nil {
 		return err

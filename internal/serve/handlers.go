@@ -181,11 +181,7 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 	schema := v.Schema()
 	// Column filters: any query parameter named after a schema column
 	// selects tuples whose rendered value matches exactly.
-	type colFilter struct {
-		idx  int
-		want string
-	}
-	var filters []colFilter
+	var filters []kbase.Pred
 	for name, vals := range q {
 		switch name {
 		case "relation", "offset", "limit":
@@ -207,7 +203,7 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 				"column filter %q given %d times; filters accept exactly one value", name, len(vals))
 			return
 		}
-		filters = append(filters, colFilter{idx: idx, want: vals[0]})
+		filters = append(filters, kbase.Pred{Col: idx, Want: vals[0]})
 	}
 	var page []kbase.Tuple
 	var total, lo int
@@ -218,20 +214,13 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 		lo, _ = pageBounds(total, offset, limit)
 		page = v.KB().Page(offset, limit)
 	} else {
-		// Filtered reads: one pass over the zero-copy Scan borrow,
-		// cloning only the rows inside the served window.
-		v.KB().Scan(func(tp kbase.Tuple) bool {
-			for _, f := range filters {
-				if fmt.Sprint(tp[f.idx]) != f.want {
-					return true
-				}
-			}
-			if total >= offset && (limit <= 0 || len(page) < limit) {
-				page = append(page, tp.Clone())
-			}
-			total++
-			return true
-		})
+		// Filtered reads push the predicates and the window into the
+		// storage layer: the table's planner answers through a lazy
+		// hash index or a (zone-map pruned) scan, cloning only the
+		// served window and returning the exact match total — the
+		// same rows, total and order the old scan-then-clone loop
+		// produced, at storage speed.
+		page, total = v.KB().PageWhere(filters, offset, limit)
 		lo = offset
 		if lo > total {
 			lo = total
@@ -401,9 +390,14 @@ func (s *Server) metaPayload() map[string]any {
 	// The storage section is the operator's view of the pluggable
 	// engine: which backend materializes the relations, how many
 	// parsed documents are hydrated against the eviction budget (the
-	// peak proves the budget held), and whether the disk backend's
-	// page cache is absorbing the read traffic.
+	// peak proves the budget held), whether the disk backend's page
+	// cache is absorbing the read traffic, and how the query planner
+	// is answering filtered /kb reads. The store-side counters were
+	// sampled when the view published; the served KB table's own
+	// counters are read live, so pagesSkipped/indexHits/fullScans
+	// reflect the filtered traffic this epoch has already served.
 	st := v.StorageStats()
+	kbStats := v.KB().BackendStats()
 	p := map[string]any{
 		"epoch":    v.Epoch(),
 		"relation": v.Relation(),
@@ -429,6 +423,9 @@ func (s *Server) metaPayload() map[string]any {
 			"pageCacheHits":    st.PageCacheHits,
 			"pageCacheMisses":  st.PageCacheMisses,
 			"pageCacheHitRate": st.PageCacheHitRate,
+			"pagesSkipped":     st.PagesSkipped + kbStats.PagesSkipped,
+			"indexHits":        st.IndexHits + kbStats.IndexHits,
+			"fullScans":        st.FullScans + kbStats.FullScans,
 		},
 	}
 	if d := s.Degraded(); d != nil {
