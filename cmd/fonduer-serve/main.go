@@ -36,7 +36,14 @@
 //	                                             /healthz and /meta aggregate the fleet)
 //	POST /ingest    POST /classify   POST /admin/snapshot
 //	GET|POST /admin/tenants   DELETE /admin/tenants/<name>
+//	GET  /metrics   (Prometheus text exposition, fleet + per-tenant)
+//	GET  /admin/traces   (recent publication span trees, per tenant)
 //	/t/<tenant>/<any of the per-tenant routes above>
+//
+// Observability: -log-level picks the structured JSON log level,
+// -slow-query-ms logs filtered /kb reads over the threshold with the
+// plan the storage layer chose, and -debug-addr serves net/http/pprof
+// on a separate listener so profiling never contends with the API.
 //
 // On SIGINT/SIGTERM the server drains in-flight requests and closes
 // every tenant, releasing the disk backend's spill directories.
@@ -57,6 +64,7 @@ import (
 	"time"
 
 	fonduer "repro"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/serve"
 )
@@ -76,8 +84,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "", "storage engine for session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory); per-tenant overrides via -tenants or POST /admin/tenants")
 	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM per tenant, evicting LRU documents and rehydrating on demand; /meta reports the counters (0 = unlimited)")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug, info, warn, error (JSON lines on stderr)")
+	slowQueryMs := flag.Int("slow-query-ms", 500, "log filtered /kb reads slower than this many milliseconds, with the chosen plan (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
+	if err := obs.InitLogging(*logLevel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+		os.Exit(1)
+	}
+	if *slowQueryMs > 0 {
+		obs.SetSlowQueryThreshold(time.Duration(*slowQueryMs) * time.Millisecond)
+	}
+	if *debugAddr != "" {
+		dbg, stopDebug, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		fmt.Printf("fonduer-serve: pprof on http://%s/debug/pprof/\n", dbg)
+	}
 	if *backend != "" && *backend != "memory" && *backend != "disk" {
 		fmt.Fprintf(os.Stderr, "fonduer-serve: unknown -backend %q (want memory or disk)\n", *backend)
 		os.Exit(1)

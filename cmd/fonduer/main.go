@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	fonduer "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -40,8 +41,23 @@ func main() {
 	store := flag.String("store", "", "persist the session's relations under this directory and resume from them when present")
 	backend := flag.String("backend", "", "storage engine for -store sessions: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory)")
 	maxResident := flag.Int("max-resident-docs", 0, "with -store, keep at most this many parsed documents hydrated in RAM, evicting LRU documents and rehydrating from the session relations on demand (0 = unlimited)")
+	logLevel := flag.String("log-level", "warn", "structured-log level: debug, info, warn, error (JSON lines on stderr)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address while the pipeline runs (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
+	if err := obs.InitLogging(*logLevel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fonduer:", err)
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		dbg, stopDebug, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fonduer:", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		fmt.Printf("fonduer: pprof on http://%s/debug/pprof/\n", dbg)
+	}
 	if *backend != "" && *backend != "memory" && *backend != "disk" {
 		fmt.Fprintf(os.Stderr, "fonduer: unknown -backend %q (want memory or disk)\n", *backend)
 		os.Exit(1)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/features"
 	"repro/internal/labeling"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -225,10 +227,16 @@ func classifyStage(m *model.Model, testEx []model.Example, threshold float64) []
 // marginals. The serving layer captures them in each published
 // StoreView so ad-hoc classification can run against the exact model
 // and feature space of a served epoch.
+//
+// spans is the run's stage timing (observability only): it rides in
+// the artifacts — never in the Result — because Results must stay
+// bit-comparable across batching orders and worker counts, while
+// wall times are not.
 type stageArtifacts struct {
 	index     *features.Index
 	model     *model.Model
 	marginals []float64
+	spans     []obs.Span
 }
 
 // runStages composes Featurize-index-materialize, Supervise, Train
@@ -248,20 +256,27 @@ func runStages(task Task, opts Options, train, test stagedSplit, labels *labelin
 // from-scratch Run results.
 func runStagesArtifacts(task Task, opts Options, train, test stagedSplit, labels *labeling.Matrix, testDocNames map[string]bool, gold []GoldTuple) (Result, stageArtifacts) {
 	res := Result{TrainCandidates: len(train.cands), TestCandidates: len(test.cands)}
+	var spans []obs.Span
 
 	// ---- Featurization (Phase 3a): frozen index from train counts,
 	// then per-split materialization against it.
+	t0 := time.Now()
 	ix := indexStage(train, opts.MinFeatureCount)
 	res.NumFeatures = ix.Len()
+	spans = append(spans, obs.NewSpan("index", t0, len(train.cands), ix.Len(), 0))
+	t0 = time.Now()
 	trainRows := materializeStage(train, ix)
 	testRows := materializeStage(test, ix)
+	spans = append(spans, obs.NewSpan("materialize", t0, len(train.cands)+len(test.cands), len(trainRows)+len(testRows), 0))
 	res.CacheStats = features.CacheStats{
 		Hits:   train.stats.Hits + test.stats.Hits,
 		Misses: train.stats.Misses + test.stats.Misses,
 	}
 
 	// ---- Supervision (Phase 3b).
+	t0 = time.Now()
 	marginals, covered, metrics := superviseStage(opts, labels)
+	spans = append(spans, obs.NewSpan("supervise", t0, len(train.cands), len(marginals), 0))
 	res.LFMetrics = metrics
 
 	// ---- Build examples from the covered candidates. Positions are
@@ -280,9 +295,13 @@ func runStagesArtifacts(task Task, opts Options, train, test stagedSplit, labels
 	}
 
 	// ---- Train the selected variant, then classify and evaluate.
+	t0 = time.Now()
 	m, trainStats := trainStage(task, opts, ix.Len(), trainEx)
+	spans = append(spans, obs.NewSpan("train", t0, len(trainEx), trainStats.Epochs, pool.Workers(opts.Workers)))
 	res.TrainStats = trainStats
+	t0 = time.Now()
 	res.Predicted = classifyStage(m, testEx, opts.Threshold)
+	spans = append(spans, obs.NewSpan("classify", t0, len(testEx), len(res.Predicted), 0))
 	res.Quality = EvaluateTuples(res.Predicted, FilterGold(gold, testDocNames))
-	return res, stageArtifacts{index: ix, model: m, marginals: marginals}
+	return res, stageArtifacts{index: ix, model: m, marginals: marginals, spans: spans}
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
 	"repro/internal/features"
 	"repro/internal/kbase"
 	"repro/internal/labeling"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sparse"
 )
@@ -100,6 +102,13 @@ type Store struct {
 	pending map[string][]int
 
 	db *kbase.DB
+
+	// ingestSpans is the stage timing of the most recent AddDocuments
+	// call (observability only — cleared and rebuilt per call). Like
+	// everything else on the store it is writer-goroutine state; the
+	// serving layer drains it with TakeIngestSpans right after the
+	// ingest, on the same goroutine.
+	ingestSpans []obs.Span
 }
 
 // storeDoc is one ingested document's shard of the store relations.
@@ -296,8 +305,10 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 		return nil
 	}
 	workers := s.opts.Workers
+	s.ingestSpans = nil
 
 	// ---- Extract stage (delta only).
+	t0 := time.Now()
 	perDoc := make([][]*candidates.Candidate, len(delta))
 	pool.Run(len(delta), workers, func(i int) {
 		ext := &candidates.Extractor{Args: s.task.Args, Scope: s.opts.Scope}
@@ -306,9 +317,15 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 		}
 		perDoc[i] = ext.Extract(delta[i])
 	})
+	nCands := 0
+	for _, cs := range perDoc {
+		nCands += len(cs)
+	}
+	s.ingestSpans = append(s.ingestSpans, obs.NewSpan("extract", t0, len(delta), nCands, pool.Workers(workers)))
 
 	// ---- Featurize stage (delta only): per-document feature names,
 	// count shards and cache statistics, one extractor per document.
+	t0 = time.Now()
 	newFx := extractorFactory(s.opts)
 	namesPerDoc := make([][][]string, len(delta))
 	countsPerDoc := make([]map[string]int, len(delta))
@@ -327,6 +344,7 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 		countsPerDoc[i] = counts
 		statsPerDoc[i] = fx.Stats()
 	})
+	s.ingestSpans = append(s.ingestSpans, obs.NewSpan("featurize", t0, nCands, nCands, pool.Workers(workers)))
 
 	// Assign global candidate IDs (dense, ingestion order) before the
 	// Supervise stage so the delta is one flat candidate list.
@@ -340,9 +358,12 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	}
 
 	// ---- Supervise stage (delta only).
+	t0 = time.Now()
 	votes := labeling.ParallelVotes(s.lfs, deltaCands, workers)
+	s.ingestSpans = append(s.ingestSpans, obs.NewSpan("supervise", t0, len(deltaCands), len(votes), pool.Workers(workers)))
 
 	// ---- Merge: append per-document state and sum the count shards.
+	t0 = time.Now()
 	changed = true
 	newDocs := make([]*storeDoc, 0, len(delta))
 	vi := 0
@@ -401,6 +422,7 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 			}
 		}
 	}
+	s.ingestSpans = append(s.ingestSpans, obs.NewSpan("merge", t0, len(deltaCands), len(admitted), 0))
 
 	// ---- Persist the delta into the kbase relations, enforcing the
 	// eviction budget per document: once a document's relations are
@@ -409,13 +431,26 @@ func (s *Store) AddDocuments(docs ...*datamodel.Document) error {
 	// Mirroring runs after the index/matrix section so a persistence
 	// error (e.g. a full spill disk) leaves the in-memory session
 	// fully self-consistent; only the kbase mirror is then behind.
+	t0 = time.Now()
 	for _, sd := range newDocs {
 		if err := s.mirrorDoc(sd); err != nil {
 			return err
 		}
 		s.accountHydrated(sd)
 	}
+	s.ingestSpans = append(s.ingestSpans, obs.NewSpan("mirror", t0, len(newDocs), len(newDocs), 0))
 	return nil
+}
+
+// TakeIngestSpans drains the stage timing of the most recent
+// AddDocuments call (nil when nothing was ingested since the last
+// drain). Writer-goroutine-only, like every mutating accessor: the
+// serving layer calls it immediately after Ingest, on its writer
+// goroutine, to build the published trace.
+func (s *Store) TakeIngestSpans() []obs.Span {
+	sp := s.ingestSpans
+	s.ingestSpans = nil
+	return sp
 }
 
 // AddLF installs a labeling function and applies it to every ingested
@@ -514,6 +549,7 @@ func (s *Store) RunSplit(trainNames, testNames []string, gold []GoldTuple) (Resu
 // are structurally bit-identical to RunSplit — and therefore to a
 // from-scratch Run — over the same corpus.
 func (s *Store) runSplitArtifacts(trainNames, testNames []string, gold []GoldTuple) (Result, stageArtifacts, error) {
+	t0 := time.Now()
 	train, err := s.splitView(trainNames)
 	if err != nil {
 		return Result{}, stageArtifacts{}, err
@@ -522,6 +558,7 @@ func (s *Store) runSplitArtifacts(trainNames, testNames []string, gold []GoldTup
 	if err != nil {
 		return Result{}, stageArtifacts{}, err
 	}
+	loadSpan := obs.NewSpan("loadSplits", t0, len(trainNames)+len(testNames), len(train.cands)+len(test.cands), 0)
 	var labels *labeling.Matrix
 	if s.opts.Marginals == nil {
 		rows := make([][]int8, len(train.cands))
@@ -535,5 +572,6 @@ func (s *Store) runSplitArtifacts(trainNames, testNames []string, gold []GoldTup
 		testDocs[n] = true
 	}
 	res, art := runStagesArtifacts(s.task, s.opts, train, test, labels, testDocs, gold)
+	art.spans = append([]obs.Span{loadSpan}, art.spans...)
 	return res, art, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/datamodel"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/kbase"
 	"repro/internal/labeling"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // StoreView is an immutable snapshot of a Store at one epoch — the
@@ -66,6 +68,11 @@ type StoreView struct {
 	// storage captures the store's backend/eviction counters at build
 	// time — the operator-facing /meta section.
 	storage StorageStats
+
+	// spans is the view build's stage timing (hydrate, loadSplits, the
+	// staged run, materializeKB) — observability only, never part of
+	// the Result.
+	spans []obs.Span
 }
 
 // View builds an immutable snapshot of the store at its current
@@ -91,10 +98,12 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 	// rehydrated here — through the LRU budget — into the snapshot.
 	// The view keeps its own references: later store evictions cannot
 	// reach into a published epoch.
+	t0 := time.Now()
 	cands, err := s.hydratedCandidates()
 	if err != nil {
 		return nil, err
 	}
+	hydrateSpan := obs.NewSpan("hydrate", t0, len(names), len(cands), 0)
 	v := &StoreView{
 		epoch:            s.epoch,
 		relation:         s.task.Relation,
@@ -137,6 +146,7 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 	// Materialize this epoch's knowledge base against the task schema.
 	// The table is always in-memory: a published epoch must stay
 	// readable lock-free after the store (and its spill) moves on.
+	t0 = time.Now()
 	v.kb = kbase.NewTable(s.task.Schema)
 	for _, t := range res.Predicted {
 		tup := make(kbase.Tuple, len(t.Values))
@@ -147,11 +157,19 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 			return nil, fmt.Errorf("core: materializing KB for view: %w", err)
 		}
 	}
+	v.spans = append(append([]obs.Span{hydrateSpan}, art.spans...),
+		obs.NewSpan("materializeKB", t0, len(res.Predicted), v.kb.Len(), 0))
 	// Sampled last, so the epoch's counters include the view build's
 	// own rehydration and page-cache traffic.
 	v.storage = s.StorageStats()
 	return v, nil
 }
+
+// StageSpans returns the view build's stage timing (read-only): the
+// hydration pass, the staged production run, and the KB
+// materialization. Observability data only — never compared across
+// runs, unlike the Result.
+func (v *StoreView) StageSpans() []obs.Span { return v.spans }
 
 // StorageStats returns the store's backend/eviction counters as of
 // this epoch's view build (backend kind, resident/peak/max document

@@ -197,6 +197,18 @@ type BackendStats struct {
 	IndexHits, FullScans int64
 }
 
+// Add accumulates other's counters into s (Pages included: callers
+// summing stats across tables want total resident pages). Used when
+// aggregating one store's tables or a serving view plus its store.
+func (s *BackendStats) Add(other BackendStats) {
+	s.Pages += other.Pages
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.PagesSkipped += other.PagesSkipped
+	s.IndexHits += other.IndexHits
+	s.FullScans += other.FullScans
+}
+
 // Engine creates backends — one per table — sharing a storage policy
 // (and, for the disk engine, a spill directory).
 type Engine interface {

@@ -156,18 +156,38 @@ func (t *Table) ScanWhere(preds []Pred, fn func(Tuple) bool) {
 	t.be.ScanWhere(preds, fn)
 }
 
+// PlanInfo describes how one filtered read was answered, for slow-
+// query logging and tracing. Plan is one of "unfiltered" (no
+// predicates), "impossible" (a predicate names a missing column),
+// "index" (hash-index probe) or "scan" (backend scan, zone-map
+// pruned on the disk engine). PagesSkipped is the read's zone-map
+// pruning delta — a best-effort sample of the backend's counter
+// around the read, 0 for in-memory backends.
+type PlanInfo struct {
+	Plan         string
+	PagesSkipped int64
+}
+
 // PageWhere returns detached clones of up to limit matching tuples
 // starting at the offset-th match (limit <= 0 means "to the end"),
 // plus the exact total number of matches — the pushed-down form of
 // the serving layer's filter-then-paginate read. Results are
 // bit-identical across backends and plans; only the work differs.
 func (t *Table) PageWhere(preds []Pred, offset, limit int) ([]Tuple, int) {
+	out, total, _ := t.PageWhereInfo(preds, offset, limit)
+	return out, total
+}
+
+// PageWhereInfo is PageWhere plus a PlanInfo describing the access
+// path taken, so callers can log slow filtered reads with the plan
+// that produced them.
+func (t *Table) PageWhereInfo(preds []Pred, offset, limit int) ([]Tuple, int, PlanInfo) {
 	if len(preds) == 0 {
-		return t.be.Page(offset, limit), t.be.Len()
+		return t.be.Page(offset, limit), t.be.Len(), PlanInfo{Plan: "unfiltered"}
 	}
 	m := compilePreds(t.schema, preds)
 	if m.impossible {
-		return nil, 0
+		return nil, 0, PlanInfo{Plan: "impossible"}
 	}
 	if ci, cp, ok := t.choosePlan(m); ok {
 		if offset < 0 {
@@ -185,7 +205,9 @@ func (t *Table) PageWhere(preds []Pred, offset, limit int) ([]Tuple, int) {
 			}
 			total++
 		}
-		return out, total
+		return out, total, PlanInfo{Plan: "index"}
 	}
-	return t.be.PageWhere(preds, offset, limit)
+	before := t.be.Stats().PagesSkipped
+	out, total := t.be.PageWhere(preds, offset, limit)
+	return out, total, PlanInfo{Plan: "scan", PagesSkipped: t.be.Stats().PagesSkipped - before}
 }

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer serves net/http/pprof on its own listener (the
+// -debug-addr flag). Profiling traffic — CPU profiles hold the
+// handler for seconds — must never share the tenant mux, so the
+// debug surface gets a dedicated mux on a dedicated port, and the
+// main API keeps serving while a profile runs.
+//
+// It returns the bound address (useful with ":0") and a stop
+// function; the server runs until stopped.
+func StartDebugServer(addr string) (string, func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() { _ = srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

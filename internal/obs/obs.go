@@ -1,0 +1,87 @@
+// Package obs is the dependency-free observability layer shared by
+// every subsystem: a fixed-cardinality metrics registry with
+// Prometheus text exposition (metrics.go), pipeline stage tracing
+// (trace.go), leveled structured JSON logging (log.go), and the
+// optional pprof debug listener (debug.go).
+//
+// obs sits below core, kbase, pool and serve in the import graph and
+// imports nothing but the standard library, so any package can record
+// into it. Everything on a hot path is updated with atomics: metric
+// children are resolved once (at route registration or first use) and
+// then incremented lock-free, which is what lets the serving layer's
+// lock-free epoch readers stay lock-free under instrumentation.
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Build identifies the running binary, resolved once from the
+// embedded module build info.
+type Build struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, with a
+	// "+dirty" suffix for modified trees ("unknown" when the build
+	// carries no VCS stamp, e.g. `go test` binaries).
+	Revision string `json:"revision"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo returns the binary's build identity via
+// runtime/debug.ReadBuildInfo, so deployments are identifiable from
+// health probes without out-of-band bookkeeping.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", Revision: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && buildInfo.Revision != "unknown" {
+			buildInfo.Revision += "+dirty"
+		}
+	})
+	return buildInfo
+}
+
+// slowQueryNs is the process-wide slow-read logging threshold
+// (SetSlowQueryThreshold); zero disables slow-query logging.
+var slowQueryNs atomic.Int64
+
+// SetSlowQueryThreshold installs the duration above which filtered
+// reads are logged as slow operations (the -slow-query-ms flag).
+// d <= 0 disables slow-query logging.
+func SetSlowQueryThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowQueryNs.Store(int64(d))
+}
+
+// SlowQueryThreshold returns the installed threshold (0 = disabled).
+func SlowQueryThreshold() time.Duration {
+	return time.Duration(slowQueryNs.Load())
+}

@@ -82,6 +82,17 @@ func SharedLimit() int {
 	return 0
 }
 
+// SharedInUse reports how many extra worker goroutines currently hold
+// a slot of the shared limit (0 when no limit is installed). It is a
+// point-in-time sample for utilization gauges; the value is already
+// stale by the time the caller reads it.
+func SharedInUse() int {
+	if l := shared.Load(); l != nil {
+		return int(l.inUse.Load())
+	}
+	return 0
+}
+
 // Run executes fn(i) for every i in [0, n) on up to workers
 // goroutines (<=0 means GOMAXPROCS). With one worker (or one task)
 // the calls run sequentially in index order on the calling goroutine.

@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/datamodel"
 	"repro/internal/kbase"
+	"repro/internal/obs"
 	"repro/internal/parser"
 )
 
@@ -26,18 +30,31 @@ import (
 //	POST /ingest          online document ingestion (retrains, publishes)
 //	POST /classify        ad-hoc classification, no store mutation
 //	POST /admin/snapshot  persist the session to disk
+//	GET  /admin/traces    recent publication traces (span trees)
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /kb", s.handleKB)
-	mux.HandleFunc("GET /candidates", s.handleCandidates)
-	mux.HandleFunc("GET /marginals", s.handleMarginals)
-	mux.HandleFunc("GET /lfmetrics", s.handleLFMetrics)
-	mux.HandleFunc("GET /features", s.handleFeatures)
-	mux.HandleFunc("GET /meta", s.handleMeta)
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /classify", s.handleClassify)
-	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
+	// reg registers one route, wrapping it with the request counter
+	// and latency histogram when the session is instrumented. The
+	// route label is the pattern's path part — a fixed table, so the
+	// metric label set stays bounded.
+	reg := func(pattern string, h http.HandlerFunc) {
+		if s.metrics != nil {
+			route := pattern[strings.IndexByte(pattern, ' ')+1:]
+			h = s.metrics.instrument(s.name, route, h)
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	reg("GET /healthz", s.handleHealthz)
+	reg("GET /kb", s.handleKB)
+	reg("GET /candidates", s.handleCandidates)
+	reg("GET /marginals", s.handleMarginals)
+	reg("GET /lfmetrics", s.handleLFMetrics)
+	reg("GET /features", s.handleFeatures)
+	reg("GET /meta", s.handleMeta)
+	reg("POST /ingest", s.handleIngest)
+	reg("POST /classify", s.handleClassify)
+	reg("POST /admin/snapshot", s.handleSnapshot)
+	reg("GET /admin/traces", s.handleTraces)
 	return mux
 }
 
@@ -48,7 +65,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone, so the client can't be told — but
+		// the failure must not vanish: a write error (client hung up)
+		// and an encode error (a payload that doesn't marshal — a
+		// server bug) are counted separately and logged at debug.
+		kind := "encode"
+		var ne *net.OpError
+		if errors.As(err, &ne) || errors.Is(err, http.ErrHandlerTimeout) {
+			kind = "write"
+			respErrWrite.Add(1)
+		} else {
+			respErrEncode.Add(1)
+		}
+		obs.Log().Debug("response failed after status was written",
+			"kind", kind, "status", status, "error", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -148,12 +180,19 @@ func parseUpload(u DocumentUpload) (*datamodel.Document, error) {
 // session is degraded (applied-but-unpublished mutations).
 func (s *Server) healthzPayload() map[string]any {
 	v := s.CurrentView()
+	b := obs.BuildInfo()
 	p := map[string]any{
-		"ok":         true,
-		"epoch":      v.Epoch(),
-		"relation":   v.Relation(),
-		"docs":       v.NumDocs(),
-		"candidates": len(v.Candidates()),
+		"ok":            true,
+		"epoch":         v.Epoch(),
+		"relation":      v.Relation(),
+		"docs":          v.NumDocs(),
+		"candidates":    len(v.Candidates()),
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"build": map[string]string{
+			"version":  b.Version,
+			"revision": b.Revision,
+			"go":       b.GoVersion,
+		},
 	}
 	if d := s.Degraded(); d != nil {
 		p["ok"] = false
@@ -220,7 +259,23 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 		// served window and returning the exact match total — the
 		// same rows, total and order the old scan-then-clone loop
 		// produced, at storage speed.
-		page, total = v.KB().PageWhere(filters, offset, limit)
+		t0 := time.Now()
+		var plan kbase.PlanInfo
+		page, total, plan = v.KB().PageWhereInfo(filters, offset, limit)
+		if thr := obs.SlowQueryThreshold(); thr > 0 {
+			if dur := time.Since(t0); dur >= thr {
+				// One structured line per slow filtered read: the plan
+				// the table chose, the predicates, the zone-map pruning
+				// it got, and the wall time that crossed -slow-query-ms.
+				preds := make([]string, len(filters))
+				for i, f := range filters {
+					preds[i] = schema.Columns[f.Col].Name + "=" + fmt.Sprint(f.Want)
+				}
+				obs.Log().Warn("slow query", "tenant", s.name, "route", "/kb",
+					"plan", plan.Plan, "preds", preds, "pagesSkipped", plan.PagesSkipped,
+					"rows", total, "durationMs", float64(dur.Nanoseconds())/1e6)
+			}
+		}
 		lo = offset
 		if lo > total {
 			lo = total
@@ -397,7 +452,15 @@ func (s *Server) metaPayload() map[string]any {
 	// counters are read live, so pagesSkipped/indexHits/fullScans
 	// reflect the filtered traffic this epoch has already served.
 	st := v.StorageStats()
-	kbStats := v.KB().BackendStats()
+	// The served KB table's live counters fold into the store-side
+	// sample through BackendStats.Add, so the arithmetic lives with
+	// the counters instead of inline here.
+	agg := kbase.BackendStats{
+		PagesSkipped: st.PagesSkipped,
+		IndexHits:    st.IndexHits,
+		FullScans:    st.FullScans,
+	}
+	agg.Add(v.KB().BackendStats())
 	p := map[string]any{
 		"epoch":    v.Epoch(),
 		"relation": v.Relation(),
@@ -423,15 +486,31 @@ func (s *Server) metaPayload() map[string]any {
 			"pageCacheHits":    st.PageCacheHits,
 			"pageCacheMisses":  st.PageCacheMisses,
 			"pageCacheHitRate": st.PageCacheHitRate,
-			"pagesSkipped":     st.PagesSkipped + kbStats.PagesSkipped,
-			"indexHits":        st.IndexHits + kbStats.IndexHits,
-			"fullScans":        st.FullScans + kbStats.FullScans,
+			"pagesSkipped":     agg.PagesSkipped,
+			"indexHits":        agg.IndexHits,
+			"fullScans":        agg.FullScans,
 		},
+	}
+	// The most recent publication's span tree; the full ring is at
+	// GET /admin/traces.
+	if ts := s.traces.Snapshot(); len(ts) > 0 {
+		p["trace"] = ts[0]
 	}
 	if d := s.Degraded(); d != nil {
 		p["degraded"] = d
 	}
 	return p
+}
+
+// handleTraces serves the session's buffered publication traces,
+// newest first — the operator's answer to "where did that retrain
+// spend its time".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	v := s.CurrentView()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":  v.Epoch(),
+		"traces": s.traces.Snapshot(),
+	})
 }
 
 // ---- Write endpoints.

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// Metrics wiring for the serving layer. Every family is registered
+// once per obs.Metrics registry (registration is get-or-create) and
+// every label value is drawn from a bounded set — tenant names, the
+// fixed route table, a fixed status-code list, the pipeline's stage
+// enum — so cardinality is tenants × routes × statuses at worst,
+// never request-derived.
+//
+// The hot path is pure atomics: per-route children are resolved once
+// at route-registration time (instrument), so serving a request does
+// one map lookup on the status int and two atomic updates. Gauges
+// that mirror fleet state (epochs, doc counts, pool utilization) are
+// sampled at scrape time instead of being maintained on writes.
+
+// trackedStatuses is the fixed status label set; anything else is
+// folded into "other" so a misbehaving handler can't mint series.
+var trackedStatuses = []int{
+	http.StatusOK, http.StatusCreated,
+	http.StatusBadRequest, http.StatusNotFound, http.StatusConflict,
+	http.StatusInternalServerError, http.StatusServiceUnavailable,
+}
+
+// Response-path error counters (satellite b): writeJSON used to
+// swallow encode failures and client disconnects silently. They are
+// package-level atomics — writeJSON has no server receiver — sampled
+// into fonduer_response_errors_total at scrape time.
+var (
+	respErrEncode atomic.Int64 // JSON marshalling failed mid-body
+	respErrWrite  atomic.Int64 // client gone: connection write error
+)
+
+// serverMetrics is one registry's per-tenant family set, shared by
+// every Server wired to the same obs.Metrics.
+type serverMetrics struct {
+	m *obs.Metrics
+
+	httpReqs    *obs.Family // counter  {tenant,route,status}
+	httpDur     *obs.Family // histogram{tenant,route,status}
+	publishDur  *obs.Family // histogram{tenant}: ingest accepted -> epoch published
+	stageDur    *obs.Family // histogram{tenant,stage}
+	trainEpochs *obs.Family // counter  {tenant}
+	trainDur    *obs.Family // histogram{tenant}
+	publishes   *obs.Family // counter  {tenant,kind}: initial|ingest|failed
+}
+
+func newServerMetrics(m *obs.Metrics) *serverMetrics {
+	return &serverMetrics{
+		m: m,
+		httpReqs: m.Counter("fonduer_http_requests_total",
+			"HTTP requests served, by tenant, route and status.",
+			"tenant", "route", "status"),
+		httpDur: m.Histogram("fonduer_http_request_duration_seconds",
+			"HTTP request latency in seconds, by tenant, route and status.",
+			obs.DefDurationBuckets, "tenant", "route", "status"),
+		publishDur: m.Histogram("fonduer_ingest_publish_duration_seconds",
+			"Wall time from an accepted ingest batch to its epoch being published.",
+			obs.DefStageBuckets, "tenant"),
+		stageDur: m.Histogram("fonduer_pipeline_stage_duration_seconds",
+			"Per-stage pipeline wall time for publish runs (extract, featurize, supervise, train, ...).",
+			obs.DefStageBuckets, "tenant", "stage"),
+		trainEpochs: m.Counter("fonduer_train_epochs_total",
+			"Model training epochs run across all publishes.",
+			"tenant"),
+		trainDur: m.Histogram("fonduer_train_duration_seconds",
+			"Model training wall time per publish run.",
+			obs.DefStageBuckets, "tenant"),
+		publishes: m.Counter("fonduer_publish_total",
+			"Epoch publications by kind: initial, ingest, or failed.",
+			"tenant", "kind"),
+	}
+}
+
+// statusRecorder captures the handler's status code (200 when the
+// handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with the request counter and
+// latency histogram. Children for the fixed status set are resolved
+// here, at registration — the per-request cost is a small map lookup
+// plus two atomic updates, keeping the lock-free read path lock-free.
+func (sm *serverMetrics) instrument(tenant, route string, h http.HandlerFunc) http.HandlerFunc {
+	type cell struct{ reqs, dur *obs.Child }
+	cells := make(map[int]cell, len(trackedStatuses))
+	for _, st := range trackedStatuses {
+		code := strconv.Itoa(st)
+		cells[st] = cell{
+			reqs: sm.httpReqs.With(tenant, route, code),
+			dur:  sm.httpDur.With(tenant, route, code),
+		}
+	}
+	other := cell{
+		reqs: sm.httpReqs.With(tenant, route, "other"),
+		dur:  sm.httpDur.With(tenant, route, "other"),
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		c, ok := cells[sr.status]
+		if !ok {
+			c = other
+		}
+		c.reqs.Inc()
+		c.dur.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// registryMetrics are the fleet-level families: gauges mirroring
+// registry state and counters sampled from lower layers at scrape
+// time (the storage counters are maintained by kbase under its own
+// locks; mirroring them on every operation would put metric updates
+// on paths that must stay lock-free, so /metrics samples them
+// instead).
+type registryMetrics struct {
+	uptime    *obs.Family // gauge
+	buildInfo *obs.Family // gauge {version,revision,goversion}, fixed at 1
+	tenants   *obs.Family // gauge
+	poolLimit *obs.Family // gauge
+	poolInUse *obs.Family // gauge
+
+	degraded     *obs.Family // gauge {tenant}
+	servedEpoch  *obs.Family // gauge {tenant}
+	docs         *obs.Family // gauge {tenant}
+	candidates   *obs.Family // gauge {tenant}
+	kbEntries    *obs.Family // gauge {tenant}
+	cacheHitRate *obs.Family // gauge {tenant}
+	pagesSkipped *obs.Family // counter {tenant}, sampled
+	indexHits    *obs.Family // counter {tenant}, sampled
+	fullScans    *obs.Family // counter {tenant}, sampled
+
+	respErrs *obs.Family // counter {kind}, sampled from the writeJSON atomics
+}
+
+func newRegistryMetrics(m *obs.Metrics) *registryMetrics {
+	return &registryMetrics{
+		uptime: m.Gauge("fonduer_uptime_seconds",
+			"Seconds since the registry started."),
+		buildInfo: m.Gauge("fonduer_build_info",
+			"Build metadata as labels; the value is always 1.",
+			"version", "revision", "goversion"),
+		tenants: m.Gauge("fonduer_tenants",
+			"Live tenants in the registry."),
+		poolLimit: m.Gauge("fonduer_pool_shared_limit",
+			"Process-wide cap on extra worker goroutines (0 = unlimited)."),
+		poolInUse: m.Gauge("fonduer_pool_shared_in_use",
+			"Extra worker goroutines currently holding a shared-limit slot."),
+		degraded: m.Gauge("fonduer_tenant_degraded",
+			"1 while the tenant has applied-but-unpublished mutations.",
+			"tenant"),
+		servedEpoch: m.Gauge("fonduer_served_epoch",
+			"Epoch the tenant's readers currently observe.",
+			"tenant"),
+		docs: m.Gauge("fonduer_tenant_docs",
+			"Documents in the tenant's served epoch.",
+			"tenant"),
+		candidates: m.Gauge("fonduer_tenant_candidates",
+			"Candidates in the tenant's served epoch.",
+			"tenant"),
+		kbEntries: m.Gauge("fonduer_tenant_kb_entries",
+			"Knowledge-base tuples in the tenant's served epoch.",
+			"tenant"),
+		cacheHitRate: m.Gauge("fonduer_page_cache_hit_rate",
+			"Disk backend page-cache hit rate for the tenant's store, 0..1.",
+			"tenant"),
+		pagesSkipped: m.Counter("fonduer_kbase_pages_skipped_total",
+			"Disk pages pruned by zone maps during the tenant's filtered reads.",
+			"tenant"),
+		indexHits: m.Counter("fonduer_kbase_index_hits_total",
+			"Filtered reads answered through a lazy hash index.",
+			"tenant"),
+		fullScans: m.Counter("fonduer_kbase_full_scans_total",
+			"Filtered reads that fell back to a (zone-map pruned) scan.",
+			"tenant"),
+		respErrs: m.Counter("fonduer_response_errors_total",
+			"Response bodies that failed after the status line: encode (server bug) or write (client gone).",
+			"kind"),
+	}
+}
+
+// sample refreshes the fleet gauges and sampled counters; called by
+// the /metrics handler immediately before exposition.
+func (rm *registryMetrics) sample(uptimeSecs float64, statuses []TenantStatus, srvs map[string]*Server) {
+	rm.uptime.With().Set(uptimeSecs)
+	b := obs.BuildInfo()
+	rm.buildInfo.With(b.Version, b.Revision, b.GoVersion).Set(1)
+	rm.tenants.With().Set(float64(len(statuses)))
+	rm.poolLimit.With().Set(float64(pool.SharedLimit()))
+	rm.poolInUse.With().Set(float64(pool.SharedInUse()))
+	rm.respErrs.With("encode").Set(float64(respErrEncode.Load()))
+	rm.respErrs.With("write").Set(float64(respErrWrite.Load()))
+	for _, ts := range statuses {
+		deg := 0.0
+		if ts.Degraded != nil {
+			deg = 1
+		}
+		rm.degraded.With(ts.Name).Set(deg)
+		rm.servedEpoch.With(ts.Name).Set(float64(ts.Epoch))
+		rm.docs.With(ts.Name).Set(float64(ts.Docs))
+		rm.candidates.With(ts.Name).Set(float64(ts.Candidates))
+		rm.kbEntries.With(ts.Name).Set(float64(ts.KBEntries))
+		srv := srvs[ts.Name]
+		if srv == nil {
+			continue
+		}
+		v := srv.CurrentView()
+		st := v.StorageStats()
+		rm.cacheHitRate.With(ts.Name).Set(st.PageCacheHitRate)
+		kb := v.KB().BackendStats()
+		rm.pagesSkipped.With(ts.Name).Set(float64(st.PagesSkipped + kb.PagesSkipped))
+		rm.indexHits.With(ts.Name).Set(float64(st.IndexHits + kb.IndexHits))
+		rm.fullScans.With(ts.Name).Set(float64(st.FullScans + kb.FullScans))
+	}
+}
+
+// observePublish records one publication's metrics: the end-to-end
+// publish latency, each stage's duration, and the training counters.
+// Called from the writer goroutine after the trace is assembled.
+func (sm *serverMetrics) observePublish(tenant string, tr obs.Trace, epochs int, trainSecs float64) {
+	kind := tr.Kind
+	if tr.Err != "" {
+		kind = "failed"
+	}
+	sm.publishes.With(tenant, kind).Inc()
+	if tr.Err != "" {
+		return
+	}
+	sm.publishDur.With(tenant).Observe(tr.DurationMs / 1e3)
+	for _, sp := range tr.Spans {
+		sm.stageDur.With(tenant, sp.Name).Observe(sp.DurationMs / 1e3)
+	}
+	if epochs > 0 {
+		sm.trainEpochs.With(tenant).Add(float64(epochs))
+		sm.trainDur.With(tenant).Observe(trainSecs)
+	}
+}

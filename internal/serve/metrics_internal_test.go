@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"net/http/httptest"
+	"testing"
+)
+
+// failingWriter reports a closed connection after the status line —
+// the "client hung up mid-body" shape writeJSON must count, not drop.
+type failingWriter struct {
+	*httptest.ResponseRecorder
+}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, &net.OpError{Op: "write", Err: errors.New("broken pipe")}
+}
+
+// TestWriteJSONCountsFailures pins satellite (b): writeJSON no longer
+// swallows post-status failures — encode errors (server bug) and
+// write errors (client gone) land in separate counters.
+func TestWriteJSONCountsFailures(t *testing.T) {
+	encBefore, wrBefore := respErrEncode.Load(), respErrWrite.Load()
+
+	// A value json.Marshal cannot encode: counted as "encode".
+	writeJSON(httptest.NewRecorder(), 200, map[string]any{"bad": make(chan int)})
+	if got := respErrEncode.Load() - encBefore; got != 1 {
+		t.Fatalf("encode error counter advanced by %d, want 1", got)
+	}
+
+	// A connection write failure: counted as "write".
+	writeJSON(failingWriter{httptest.NewRecorder()}, 200, map[string]string{"ok": "yes"})
+	if got := respErrWrite.Load() - wrBefore; got != 1 {
+		t.Fatalf("write error counter advanced by %d, want 1", got)
+	}
+}

@@ -42,9 +42,12 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ResolveTask maps a (domain, relation) pair to the task definitions
@@ -64,6 +67,11 @@ type RegistryConfig struct {
 	// tenant <name> serving relation <rel> snapshots into (and resumes
 	// from) <SnapshotRoot>/<name>/<rel>.
 	SnapshotRoot string
+	// Metrics receives the fleet's instrumentation; nil creates a
+	// private registry (every Registry serves GET /metrics either
+	// way). Per-Registry rather than process-global, so concurrent
+	// registries — tests, embedders — never share series.
+	Metrics *obs.Metrics
 }
 
 // TenantConfig describes one tenant at creation time. It is the
@@ -129,6 +137,11 @@ var (
 
 var tenantName = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
 
+// fleetTenant is the pseudo-tenant labeling the registry's own routes
+// (/admin/tenants, fleet /healthz, /meta, /metrics) in the HTTP
+// metrics; Create refuses it as a real tenant name.
+const fleetTenant = "_fleet"
+
 // tenantEntry is one live tenant: its immutable creation config, the
 // serving unit, and the cached per-tenant handler.
 type tenantEntry struct {
@@ -145,6 +158,13 @@ type Registry struct {
 	resolve      ResolveTask
 	baseOpts     core.Options
 	snapshotRoot string
+	start        time.Time
+
+	// metrics is the fleet's instrumentation registry; every tenant's
+	// Server records into it, and fleetMetrics holds the gauge/counter
+	// families the /metrics handler samples at scrape time.
+	metrics      *obs.Metrics
+	fleetMetrics *registryMetrics
 
 	mu          sync.RWMutex
 	tenants     map[string]*tenantEntry
@@ -159,10 +179,17 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.Resolve == nil {
 		return nil, fmt.Errorf("serve: registry needs a task resolver")
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
 	return &Registry{
 		resolve:      cfg.Resolve,
 		baseOpts:     cfg.BaseOptions,
 		snapshotRoot: cfg.SnapshotRoot,
+		start:        time.Now(),
+		metrics:      m,
+		fleetMetrics: newRegistryMetrics(m),
 		tenants:      map[string]*tenantEntry{},
 	}, nil
 }
@@ -197,6 +224,9 @@ func (rg *Registry) tenantOptions(tc TenantConfig) core.Options {
 func (rg *Registry) Create(tc TenantConfig) (*TenantStatus, error) {
 	if !tenantName.MatchString(tc.Name) {
 		return nil, fmt.Errorf("serve: bad tenant name %q (want [A-Za-z0-9_-]{1,64})", tc.Name)
+	}
+	if tc.Name == fleetTenant {
+		return nil, fmt.Errorf("serve: tenant name %q is reserved for fleet metrics", tc.Name)
 	}
 	if tc.Backend != "" && tc.Backend != "memory" && tc.Backend != "disk" {
 		return nil, fmt.Errorf("serve: tenant %q: unknown backend %q (want memory or disk)", tc.Name, tc.Backend)
@@ -238,6 +268,8 @@ func (rg *Registry) Create(tc TenantConfig) (*TenantStatus, error) {
 	}
 	status := rg.statusLocked(entry)
 	rg.mu.Unlock()
+	obs.Log().Info("tenant created", "tenant", tc.Name, "domain", tc.Domain,
+		"relation", tc.Relation, "resumed", entry.resumed)
 	return &status, nil
 }
 
@@ -265,6 +297,8 @@ func (rg *Registry) buildTenant(tc TenantConfig, task core.Task, gold []core.Gol
 		Gold:        gold,
 		Store:       st,
 		SnapshotDir: snapDir,
+		Name:        tc.Name,
+		Metrics:     rg.metrics,
 	})
 	if err != nil {
 		if st != nil {
@@ -327,6 +361,7 @@ func (rg *Registry) Delete(name string) error {
 	delete(rg.tenants, name)
 	rg.mu.Unlock()
 	e.srv.Close()
+	obs.Log().Info("tenant evicted", "tenant", name)
 	return nil
 }
 
@@ -396,14 +431,24 @@ func (rg *Registry) Close() {
 
 // Handler returns the registry's HTTP API: per-tenant routes under
 // /t/<name>/, the default-tenant alias at the root, tenant lifecycle
-// under /admin/tenants, and fleet-wide /healthz + /meta.
+// under /admin/tenants, fleet-wide /healthz + /meta + /admin/traces,
+// and Prometheus exposition at /metrics. Fleet-level routes are
+// instrumented under the pseudo-tenant "_fleet"; Create reserves the
+// name so a real tenant can never alias its series.
 func (rg *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /admin/tenants", rg.handleList)
-	mux.HandleFunc("POST /admin/tenants", rg.handleCreate)
-	mux.HandleFunc("DELETE /admin/tenants/{name}", rg.handleDelete)
-	mux.HandleFunc("GET /healthz", rg.handleHealthz)
-	mux.HandleFunc("GET /meta", rg.handleMeta)
+	sm := newServerMetrics(rg.metrics)
+	reg := func(pattern string, h http.HandlerFunc) {
+		route := pattern[strings.IndexByte(pattern, ' ')+1:]
+		mux.HandleFunc(pattern, sm.instrument(fleetTenant, route, h))
+	}
+	reg("GET /admin/tenants", rg.handleList)
+	reg("POST /admin/tenants", rg.handleCreate)
+	reg("DELETE /admin/tenants/{name}", rg.handleDelete)
+	reg("GET /healthz", rg.handleHealthz)
+	reg("GET /meta", rg.handleMeta)
+	reg("GET /metrics", rg.handleMetrics)
+	reg("GET /admin/traces", rg.handleTraces)
 	mux.HandleFunc("/t/{tenant}", rg.handleTenant) // no trailing path: still resolve, 404 cleanly
 	mux.HandleFunc("/t/{tenant}/", rg.handleTenant)
 	mux.HandleFunc("/", rg.handleDefaultAlias)
@@ -521,7 +566,62 @@ func (rg *Registry) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	base["ok"] = ok
 	base["default"] = defName
 	base["tenants"] = perTenant
+	// Fleet uptime and build identity override the default tenant's:
+	// the fleet payload describes the process, not one session.
+	base["uptimeSeconds"] = time.Since(rg.start).Seconds()
+	b := obs.BuildInfo()
+	base["build"] = map[string]string{
+		"version":  b.Version,
+		"revision": b.Revision,
+		"go":       b.GoVersion,
+	}
 	writeJSON(w, http.StatusOK, base)
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition of the
+// whole fleet. Counter and histogram series are maintained on the
+// request/publish paths; state-mirroring gauges (epochs, doc counts,
+// pool utilization, sampled storage counters) are refreshed here,
+// right before exposition, so scraping is what pays for them.
+func (rg *Registry) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	closed := rg.closed
+	srvs := make(map[string]*Server, len(rg.tenants))
+	for name, e := range rg.tenants {
+		if e != nil {
+			srvs[name] = e.srv
+		}
+	}
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	rg.fleetMetrics.sample(time.Since(rg.start).Seconds(), rg.List(), srvs)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := rg.metrics.WritePrometheus(w); err != nil {
+		respErrWrite.Add(1)
+		obs.Log().Debug("metrics exposition write failed", "error", err)
+	}
+}
+
+// handleTraces is the fleet GET /admin/traces: every tenant's recent
+// publication traces, keyed by tenant name. (Per-tenant rings are
+// also served at /t/<name>/admin/traces.)
+func (rg *Registry) handleTraces(w http.ResponseWriter, r *http.Request) {
+	rg.mu.RLock()
+	closed := rg.closed
+	entries := rg.sortedEntriesLocked()
+	rg.mu.RUnlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "registry is closed")
+		return
+	}
+	perTenant := make(map[string]any, len(entries))
+	for _, e := range entries {
+		perTenant[e.cfg.Name] = e.srv.Traces()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": perTenant})
 }
 
 // healthzBase is the default tenant's healthz payload without the

@@ -32,9 +32,11 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datamodel"
+	"repro/internal/obs"
 )
 
 // Config assembles a Server.
@@ -57,6 +59,14 @@ type Config struct {
 	// SnapshotDir, when non-empty, is the default target directory
 	// for POST /admin/snapshot requests that do not name one.
 	SnapshotDir string
+	// Name labels this session in metrics, traces and log lines
+	// (the registry passes the tenant name; "" means "default").
+	Name string
+	// Metrics, when non-nil, instruments the HTTP surface and the
+	// publish pipeline into the given registry. Nil leaves the serving
+	// path completely uninstrumented — byte-for-byte the pre-metrics
+	// handler chain (the overhead benchmark compares the two).
+	Metrics *obs.Metrics
 }
 
 // Server serves one extraction session over HTTP — standalone, or as
@@ -65,6 +75,15 @@ type Config struct {
 type Server struct {
 	gold        []core.GoldTuple
 	snapshotDir string
+	name        string
+	start       time.Time
+
+	// traces is the bounded ring of publication traces (initial
+	// build, each ingest, snapshots) behind /meta's trace section and
+	// GET /admin/traces. Written by the writer goroutine only.
+	traces *obs.TraceRing
+	// metrics is non-nil when Config.Metrics instrumented the session.
+	metrics *serverMetrics
 
 	// store is the owned session; mutated only by the writer
 	// goroutine, closed (storage-engine cleanup) by Close.
@@ -149,13 +168,24 @@ func New(cfg Config) (*Server, error) {
 	if st == nil {
 		st = core.NewStore(cfg.Task, cfg.Options)
 	}
+	name := cfg.Name
+	if name == "" {
+		name = "default"
+	}
 	s := &Server{
 		gold:        cfg.Gold,
 		snapshotDir: cfg.SnapshotDir,
+		name:        name,
+		start:       time.Now(),
+		traces:      obs.NewTraceRing(0),
 		store:       st,
 		reqs:        make(chan writerReq),
 		closed:      make(chan struct{}),
 	}
+	if cfg.Metrics != nil {
+		s.metrics = newServerMetrics(cfg.Metrics)
+	}
+	t0 := time.Now()
 	view, err := st.View(cfg.Gold)
 	if err != nil {
 		if cfg.Store == nil {
@@ -168,6 +198,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: building initial view: %w", err)
 	}
 	s.view.Store(view)
+	s.recordPublish(obs.Trace{
+		Kind:       "initial",
+		Epoch:      view.Epoch(),
+		Start:      t0,
+		DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+		Docs:       view.NumDocs(),
+		Spans:      view.StageSpans(),
+	}, view)
 
 	s.wg.Add(1)
 	go func() {
@@ -217,15 +255,39 @@ func (s *Server) submit(fn func(st *core.Store) (any, error)) (any, error) {
 // CurrentView returns the most recently published epoch view.
 func (s *Server) CurrentView() *core.StoreView { return s.view.Load() }
 
+// recordPublish files one publication's trace into the ring, feeds
+// the publish/stage/training metrics, and emits the mutation log
+// line. view is nil for failed publications.
+func (s *Server) recordPublish(tr obs.Trace, view *core.StoreView) {
+	s.traces.Add(tr)
+	epochs, trainSecs := 0, 0.0
+	if view != nil {
+		ts := view.Result().TrainStats
+		epochs, trainSecs = ts.Epochs, ts.TotalDuration.Seconds()
+	}
+	if s.metrics != nil {
+		s.metrics.observePublish(s.name, tr, epochs, trainSecs)
+	}
+	if tr.Err != "" {
+		obs.Log().Error("publish failed", "tenant", s.name, "kind", tr.Kind,
+			"docs", tr.Docs, "durationMs", tr.DurationMs, "error", tr.Err)
+		return
+	}
+	obs.Log().Info("published", "tenant", s.name, "kind", tr.Kind, "epoch", tr.Epoch,
+		"docs", tr.Docs, "durationMs", tr.DurationMs)
+}
+
 // Ingest applies one document batch on the writer goroutine —
 // extraction, featurization and supervision for the delta only, per
 // the store's incremental semantics — then retrains and publishes the
 // next epoch's view. It returns the newly published view.
 func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 	val, err := s.submit(func(st *core.Store) (any, error) {
+		t0 := time.Now()
 		if err := st.AddDocuments(docs...); err != nil {
 			return nil, err
 		}
+		ingestSpans := st.TakeIngestSpans()
 		var view *core.StoreView
 		verr := error(nil)
 		if msg := s.publishFault.Swap(nil); msg != nil {
@@ -251,6 +313,15 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 				StoreEpoch:  st.Epoch(),
 				ServedEpoch: served,
 			})
+			s.recordPublish(obs.Trace{
+				Kind:       "ingest",
+				Epoch:      served,
+				Start:      t0,
+				DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+				Docs:       len(docs),
+				Err:        verr.Error(),
+				Spans:      ingestSpans,
+			}, nil)
 			return nil, &PartialIngestError{Docs: names, Err: verr}
 		}
 		s.view.Store(view)
@@ -258,6 +329,14 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 		// including any previously stranded documents: the degradation
 		// is over, and the recovery is explicit in the epoch payload.
 		s.degraded.Store(nil)
+		s.recordPublish(obs.Trace{
+			Kind:       "ingest",
+			Epoch:      view.Epoch(),
+			Start:      t0,
+			DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Docs:       len(docs),
+			Spans:      append(ingestSpans, view.StageSpans()...),
+		}, view)
 		return view, nil
 	})
 	if err != nil {
@@ -280,9 +359,19 @@ func (s *Server) Snapshot(dir string) (string, uint64, error) {
 		return "", 0, fmt.Errorf("serve: no snapshot directory configured")
 	}
 	val, err := s.submit(func(st *core.Store) (any, error) {
+		t0 := time.Now()
 		if err := st.Snapshot(dir); err != nil {
+			obs.Log().Error("snapshot failed", "tenant", s.name, "dir", dir, "error", err)
 			return nil, err
 		}
+		s.traces.Add(obs.Trace{
+			Kind:       "snapshot",
+			Epoch:      st.Epoch(),
+			Start:      t0,
+			DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+		})
+		obs.Log().Info("snapshot", "tenant", s.name, "dir", dir, "epoch", st.Epoch(),
+			"durationMs", float64(time.Since(t0).Nanoseconds())/1e6)
 		return st.Epoch(), nil
 	})
 	if err != nil {
@@ -290,6 +379,11 @@ func (s *Server) Snapshot(dir string) (string, uint64, error) {
 	}
 	return dir, val.(uint64), nil
 }
+
+// Traces returns the session's buffered publication traces, newest
+// first (the /admin/traces payload; the registry aggregates it per
+// tenant).
+func (s *Server) Traces() []obs.Trace { return s.traces.Snapshot() }
 
 // Handler returns the HTTP API. See routes in handlers.go.
 func (s *Server) Handler() http.Handler { return s.routes() }
