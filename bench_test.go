@@ -683,6 +683,76 @@ func BenchmarkServeIngestPublish(b *testing.B) {
 	}
 }
 
+// BenchmarkServeIngestPublishAsync measures the write-path latency
+// two-phase publication exists to fix: a POST /ingest-sized delta (two
+// documents) landing on a warm 14-document session. Under async
+// publication the delta epoch classifies only the new documents with
+// the serving generation's model — no training on the write path; the
+// synchronous server retrains over the full corpus before publishing
+// the same batch. The inner b.N timing is the async ingest-to-publish
+// latency; each iteration also runs the identical delta through the
+// synchronous server and reports the ratio as speedup_x, failing
+// outright if the delta publish is not at least 5x faster.
+func BenchmarkServeIngestPublishAsync(b *testing.B) {
+	elec := synth.Electronics(8, 16)
+	task := elec.Tasks[0]
+	warm := len(elec.Docs) - 2
+	mk := func(async bool) *serve.Server {
+		srv, err := serve.New(serve.Config{
+			Task:    task,
+			Options: core.Options{Seed: 1, Epochs: 2, Batch: 16},
+			Gold:    elec.GoldTuples[task.Relation],
+			Async:   async,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Ingest(elec.Docs[:warm]); err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	var deltaNs, syncNs float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		asyncSrv := mk(true)
+		// Train a real generation so the delta classifies under warm,
+		// representative weights — the steady state the write path
+		// serves from.
+		if _, err := asyncSrv.Train(); err != nil {
+			b.Fatal(err)
+		}
+		syncSrv := mk(false)
+		t0 := time.Now()
+		if _, err := syncSrv.Ingest(elec.Docs[warm:]); err != nil {
+			b.Fatal(err)
+		}
+		syncNs += float64(time.Since(t0).Nanoseconds())
+		t0 = time.Now()
+		b.StartTimer()
+		view, err := asyncSrv.Ingest(elec.Docs[warm:])
+		b.StopTimer()
+		deltaNs += float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if view.NumDocs() != len(elec.Docs) || view.Generation() != 1 {
+			b.Fatalf("delta view = %d docs at generation %d, want %d docs at generation 1",
+				view.NumDocs(), view.Generation(), len(elec.Docs))
+		}
+		asyncSrv.Close()
+		syncSrv.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	speedup := syncNs / deltaNs
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(syncNs/float64(b.N)/1e6, "sync_ms")
+	if speedup < 5 {
+		b.Fatalf("delta publish is only %.1fx faster than synchronous publish, want >= 5x", speedup)
+	}
+}
+
 // BenchmarkServeMetricsOverhead bounds the cost of HTTP
 // instrumentation: two identical warm servers answer the same read
 // mix — one wired to an obs.Metrics registry, one with Metrics nil,

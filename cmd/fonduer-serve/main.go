@@ -84,6 +84,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "", "storage engine for session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory); per-tenant overrides via -tenants or POST /admin/tenants")
 	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM per tenant, evicting LRU documents and rehydrating on demand; /meta reports the counters (0 = unlimited)")
+	syncPublish := flag.Bool("sync-publish", false, "retrain synchronously on every ingest before publishing (the pre-async behavior); default is async two-phase publication: immediate delta epochs + background retraining")
+	trainDrift := flag.Float64("train-drift", 0.10, "async mode: trigger a background retrain when the session feature space has grown by more than this fraction since the serving model generation was trained (<=0 disables the drift trigger)")
+	trainInterval := flag.Duration("train-interval", 30*time.Second, "async mode: retrain at this cadence whenever delta epochs have been published since the serving generation was trained (0 disables the timer)")
 	logLevel := flag.String("log-level", "info", "structured-log level: debug, info, warn, error (JSON lines on stderr)")
 	slowQueryMs := flag.Int("slow-query-ms", 500, "log filtered /kb reads slower than this many milliseconds, with the chosen plan (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
@@ -123,7 +126,8 @@ func main() {
 		Workers: *workers, Batch: *batch,
 		Backend: *backend, MaxResidentDocs: *maxResident,
 	}
-	rg, err := buildRegistry(*store, *domain, *relation, *tenants, *defaultTenant, opts)
+	pub := publishConfig{async: !*syncPublish, drift: *trainDrift, interval: *trainInterval}
+	rg, err := buildRegistry(*store, *domain, *relation, *tenants, *defaultTenant, opts, pub)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fonduer-serve:", err)
 		os.Exit(1)
@@ -235,15 +239,27 @@ func parseTenantSpecs(s string) ([]serve.TenantConfig, error) {
 	return out, nil
 }
 
+// publishConfig carries the -sync-publish/-train-drift/-train-interval
+// flag surface into the registry: async two-phase publication (the
+// default) or the pre-async synchronous retrain-per-ingest behavior.
+type publishConfig struct {
+	async    bool
+	drift    float64
+	interval time.Duration
+}
+
 // buildRegistry assembles the session registry from the flag surface:
 // explicit -tenants specs, or the legacy single-tenant shape (one
 // tenant named "default" from -domain/-relation, resuming the
 // cmd/fonduer <store>/<relation> layout directly).
-func buildRegistry(storeDir, domain, relation, tenantsFlag, defaultTenant string, opts fonduer.Options) (*serve.Registry, error) {
+func buildRegistry(storeDir, domain, relation, tenantsFlag, defaultTenant string, opts fonduer.Options, pub publishConfig) (*serve.Registry, error) {
 	rg, err := serve.NewRegistry(serve.RegistryConfig{
-		Resolve:      resolveTask,
-		BaseOptions:  opts,
-		SnapshotRoot: storeDir,
+		Resolve:       resolveTask,
+		BaseOptions:   opts,
+		SnapshotRoot:  storeDir,
+		Async:         pub.async,
+		TrainDrift:    pub.drift,
+		TrainInterval: pub.interval,
 	})
 	if err != nil {
 		return nil, err

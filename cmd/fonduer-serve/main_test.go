@@ -51,7 +51,7 @@ func TestServeStoreIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rg, err := buildRegistry(storeDir, "electronics", task.Relation, "", "", opts)
+	rg, err := buildRegistry(storeDir, "electronics", task.Relation, "", "", opts, publishConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestServeStoreIntegration(t *testing.T) {
 // with an empty store directory serves an empty epoch-0 default
 // tenant ready for online ingestion.
 func TestServeFreshSession(t *testing.T) {
-	rg, err := buildRegistry(t.TempDir(), "electronics", "", "", "", fonduer.Options{Threshold: 0.5, Epochs: 2, Seed: 1, Workers: 1})
+	rg, err := buildRegistry(t.TempDir(), "electronics", "", "", "", fonduer.Options{Threshold: 0.5, Epochs: 2, Seed: 1, Workers: 1}, publishConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestServeFreshSession(t *testing.T) {
 func TestServeMultiTenantBootstrap(t *testing.T) {
 	opts := fonduer.Options{Threshold: 0.5, Epochs: 1, Seed: 1, Workers: 1}
 	rg, err := buildRegistry(t.TempDir(), "electronics", "",
-		"elec:electronics, ads:ads:::, paleo:paleo::disk:4", "ads", opts)
+		"elec:electronics, ads:ads:::, paleo:paleo::disk:4", "ads", opts, publishConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +150,11 @@ func TestServeMultiTenantBootstrap(t *testing.T) {
 	}
 
 	for _, bad := range []string{"justaname", "x:nosuchdomain", "a:electronics:NoSuchRelation", "e:electronics::tape", "e:electronics::disk:notanum"} {
-		if _, err := buildRegistry(t.TempDir(), "electronics", "", bad, "", opts); err == nil {
+		if _, err := buildRegistry(t.TempDir(), "electronics", "", bad, "", opts, publishConfig{}); err == nil {
 			t.Fatalf("-tenants %q must fail", bad)
 		}
 	}
-	if _, err := buildRegistry(t.TempDir(), "electronics", "", "a:electronics", "nosuchtenant", opts); err == nil {
+	if _, err := buildRegistry(t.TempDir(), "electronics", "", "a:electronics", "nosuchtenant", opts, publishConfig{}); err == nil {
 		t.Fatal("-default-tenant naming an unknown tenant must fail")
 	}
 }
@@ -163,10 +163,10 @@ func TestServeMultiTenantBootstrap(t *testing.T) {
 // single-tenant surface.
 func TestServeUnknownInputs(t *testing.T) {
 	opts := fonduer.Options{Epochs: 1, Seed: 1, Workers: 1}
-	if _, err := buildRegistry("", "nosuchdomain", "", "", "", opts); err == nil {
+	if _, err := buildRegistry("", "nosuchdomain", "", "", "", opts, publishConfig{}); err == nil {
 		t.Fatal("unknown domain must fail")
 	}
-	if _, err := buildRegistry("", "electronics", "NoSuchRelation", "", "", opts); err == nil {
+	if _, err := buildRegistry("", "electronics", "NoSuchRelation", "", "", opts, publishConfig{}); err == nil {
 		t.Fatal("unknown relation must fail")
 	}
 }
@@ -182,7 +182,7 @@ func TestShutdownReleasesSpillDirs(t *testing.T) {
 
 	opts := fonduer.Options{Threshold: 0.5, Epochs: 1, Seed: 1, Workers: 1}
 	rg, err := buildRegistry("", "electronics", "",
-		"a:electronics::disk,b:ads::disk,c:genomics::disk", "", opts)
+		"a:electronics::disk,b:ads::disk,c:genomics::disk", "", opts, publishConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,9 +171,33 @@ func superviseStage(opts Options, labels *labeling.Matrix) (marginals []float64,
 	return marginals, covered, metrics
 }
 
+// warmSource is a previous generation's trained state, used to
+// warm-start the next generation's training: the model supplies the
+// dense weights and embedding rows, the frozen index maps the new
+// run's sparse-head columns back to the old run's.
+type warmSource struct {
+	model *model.Model
+	index *features.Index
+}
+
+// warmFeats builds the new-column -> old-column map between two
+// frozen feature indexes. Columns whose feature name the old index
+// never admitted are absent (they keep their fresh initialization).
+func warmFeats(newIx, oldIx *features.Index) map[int]int {
+	out := make(map[int]int, newIx.Len())
+	for newCol, name := range newIx.Names() {
+		if oldCol, ok := oldIx.Lookup(name); ok {
+			out[newCol] = oldCol
+		}
+	}
+	return out
+}
+
 // trainStage constructs the selected model variant and trains it
-// noise-aware on the covered examples.
-func trainStage(task Task, opts Options, numFeatures int, trainEx []model.Example) (*model.Model, model.TrainStats) {
+// noise-aware on the covered examples, optionally warm-started from a
+// previous generation (ix is the run's frozen index, needed to map
+// sparse-head columns across generations).
+func trainStage(task Task, opts Options, numFeatures int, trainEx []model.Example, warm *warmSource, ix *features.Index) (*model.Model, model.TrainStats) {
 	arity := len(task.Args)
 	var m *model.Model
 	switch opts.Variant {
@@ -196,10 +220,15 @@ func trainStage(task Task, opts Options, numFeatures int, trainEx []model.Exampl
 	default:
 		panic("core: unknown variant")
 	}
-	stats := m.Train(trainEx, model.TrainOptions{
+	topts := model.TrainOptions{
 		Epochs: opts.Epochs, LR: opts.LR, L2: opts.L2,
 		Batch: opts.Batch, Workers: opts.Workers,
-	})
+	}
+	if warm != nil && warm.model != nil {
+		topts.Warm = warm.model
+		topts.WarmFeats = warmFeats(ix, warm.index)
+	}
+	stats := m.Train(trainEx, topts)
 	return m, stats
 }
 
@@ -255,6 +284,14 @@ func runStages(task Task, opts Options, train, test stagedSplit, labels *labelin
 // is what makes served-epoch results structurally bit-identical to
 // from-scratch Run results.
 func runStagesArtifacts(task Task, opts Options, train, test stagedSplit, labels *labeling.Matrix, testDocNames map[string]bool, gold []GoldTuple) (Result, stageArtifacts) {
+	return runStagesWarm(task, opts, train, test, labels, testDocNames, gold, nil)
+}
+
+// runStagesWarm is runStagesArtifacts with an optional warm source:
+// training starts from the previous generation's weights instead of
+// the cold deterministic initialization. All other stages are
+// unaffected; a nil warm is exactly runStagesArtifacts.
+func runStagesWarm(task Task, opts Options, train, test stagedSplit, labels *labeling.Matrix, testDocNames map[string]bool, gold []GoldTuple, warm *warmSource) (Result, stageArtifacts) {
 	res := Result{TrainCandidates: len(train.cands), TestCandidates: len(test.cands)}
 	var spans []obs.Span
 
@@ -296,7 +333,7 @@ func runStagesArtifacts(task Task, opts Options, train, test stagedSplit, labels
 
 	// ---- Train the selected variant, then classify and evaluate.
 	t0 = time.Now()
-	m, trainStats := trainStage(task, opts, ix.Len(), trainEx)
+	m, trainStats := trainStage(task, opts, ix.Len(), trainEx, warm, ix)
 	spans = append(spans, obs.NewSpan("train", t0, len(trainEx), trainStats.Epochs, pool.Workers(opts.Workers)))
 	res.TrainStats = trainStats
 	t0 = time.Now()

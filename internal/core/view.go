@@ -46,6 +46,27 @@ type StoreView struct {
 	votes    [][]int8
 	lfNames  []string
 
+	// Two-phase publication bookkeeping (async serving): the model
+	// generation this view serves, the epoch whose corpus that
+	// generation was trained on, and the session feature-space size at
+	// training time — the base against which feature-count drift is
+	// measured to trigger a background retrain. A (epoch, generation)
+	// pair fully determines the served bytes: the corpus is a function
+	// of the epoch, the model a function of the generation, and
+	// classification a pure per-candidate function of both.
+	generation             uint64
+	modelEpoch             uint64
+	trainedSessionFeatures int
+
+	// names are the per-candidate distinct feature-name rows, aligned
+	// with cands (shared immutable store rows — never mutated after
+	// ingestion), and splitStats the whole-corpus featurization cache
+	// statistics. Captured so ViewDelta and Retrain can re-run staged
+	// classification/training as pure functions of the view, off the
+	// store.
+	names      [][]string
+	splitStats features.CacheStats
+
 	// Production artifacts of this epoch: the whole-corpus run's
 	// Result, trained model, frozen feature index, and denoised
 	// per-candidate marginals.
@@ -111,10 +132,18 @@ func (s *Store) View(gold []GoldTuple) (*StoreView, error) {
 		opts:             s.opts,
 		docNames:         names,
 		cands:            cands,
+		names:            s.names[:len(cands):len(cands)],
 		sessionIndex:     s.dict.Clone(),
 		pendingFeatures:  len(s.pending),
 		distinctFeatures: len(s.counts),
 		tableRows:        map[string]int{},
+		// This view's model is trained here, on this epoch's corpus.
+		modelEpoch:             s.epoch,
+		trainedSessionFeatures: s.dict.Len(),
+	}
+	for _, sd := range s.docs {
+		v.splitStats.Hits += sd.stats.Hits
+		v.splitStats.Misses += sd.stats.Misses
 	}
 	v.lfNames = make([]string, len(s.lfs))
 	for i, lf := range s.lfs {
@@ -178,6 +207,25 @@ func (v *StoreView) StorageStats() StorageStats { return v.storage }
 
 // Epoch returns the store mutation epoch the view was built at.
 func (v *StoreView) Epoch() uint64 { return v.epoch }
+
+// Generation returns the model generation this view serves. Together
+// with the epoch it fully determines the served bytes (see Retrain).
+func (v *StoreView) Generation() uint64 { return v.generation }
+
+// SetGeneration stamps the view's model generation. Views are
+// immutable after publication; the single writer goroutine stamps the
+// generation between build and publish, never afterwards.
+func (v *StoreView) SetGeneration(g uint64) { v.generation = g }
+
+// ModelTrainedAtEpoch returns the epoch whose corpus trained this
+// view's model. Equal to Epoch() right after a (re)train; smaller on
+// delta epochs published under an older generation.
+func (v *StoreView) ModelTrainedAtEpoch() uint64 { return v.modelEpoch }
+
+// TrainedSessionFeatures returns the session feature-space size at
+// the time this view's model was trained — the base against which
+// feature drift is measured to trigger a background retrain.
+func (v *StoreView) TrainedSessionFeatures() int { return v.trainedSessionFeatures }
 
 // Relation returns the task's relation name.
 func (v *StoreView) Relation() string { return v.relation }

@@ -314,6 +314,21 @@ type TrainOptions struct {
 	// minibatch position owns a private gradient buffer, and buffers
 	// are reduced in fixed example-index order (see Train).
 	Workers int
+	// Warm, when non-nil, copies the previous generation's trained
+	// weights over this model's fresh initialization before the first
+	// epoch. Dense layers copy whole matrices (their shapes are fixed
+	// by Config), embedding rows are matched by word through both
+	// frozen vocabularies, and sparse-head columns are matched through
+	// WarmFeats; anything unmatched — new words, new features — keeps
+	// its deterministic fresh initialization. The copy is a pure
+	// function of the two models plus WarmFeats, so warm-started
+	// training stays bit-reproducible.
+	Warm *Model
+	// WarmFeats maps this model's sparse feature columns to Warm's
+	// columns (new index → old index). Required for the sparse head to
+	// transfer when Warm is set; columns absent from the map keep their
+	// zero initialization.
+	WarmFeats map[int]int
 }
 
 func (o *TrainOptions) defaults() {
@@ -406,6 +421,9 @@ type trainSlot struct {
 // loop this implementation replaced.
 func (m *Model) Train(examples []Example, opts TrainOptions) TrainStats {
 	opts.defaults()
+	if opts.Warm != nil {
+		m.warmStart(opts.Warm, opts.WarmFeats)
+	}
 	optim := neural.NewAdam(opts.LR)
 	optim.WeightDecay = opts.L2
 	order := make([]int, len(examples))
@@ -465,6 +483,52 @@ func (m *Model) Train(examples []Example, opts TrainOptions) TrainStats {
 		st.SecsPerEpoch = dur.Seconds() / float64(opts.Epochs)
 	}
 	return st
+}
+
+// warmStart overwrites this model's fresh initialization with weights
+// from src wherever the two parameter spaces line up. Only the
+// vocabulary (embedding rows) and the sparse feature head (columns)
+// can differ in shape between generations of the same Config; every
+// other layer's dimensions are fixed by Config, so those copy whole.
+// Writes are independent per destination cell, so iteration order —
+// including map order over feats — cannot affect the result.
+func (m *Model) warmStart(src *Model, feats map[int]int) {
+	if m.emb != nil && src.emb != nil {
+		dim := m.cfg.EmbedDim
+		for id := 0; id < m.vocab.Len(); id++ {
+			w := m.vocab.Word(id)
+			sid := src.vocab.ID(w)
+			if sid == nlp.UnknownID && w != "<unk>" {
+				continue // new word: keep its deterministic hashed init
+			}
+			copy(m.emb.Table.W[id*dim:(id+1)*dim], src.emb.Table.W[sid*dim:(sid+1)*dim])
+		}
+		copyMatched(m.bi.Params(), src.bi.Params())
+		copyMatched(m.att.Params(), src.att.Params())
+		copyMatched(m.headText.Params(), src.headText.Params())
+	}
+	if m.headSparse != nil && src.headSparse != nil {
+		for newCol, oldCol := range feats {
+			if newCol < 0 || newCol >= m.headSparse.Cols || oldCol < 0 || oldCol >= src.headSparse.Cols {
+				continue
+			}
+			for r := 0; r < m.headSparse.Rows && r < src.headSparse.Rows; r++ {
+				m.headSparse.W[r*m.headSparse.Cols+newCol] = src.headSparse.W[r*src.headSparse.Cols+oldCol]
+			}
+		}
+	}
+	copyMatched(neural.Params{m.bias}, neural.Params{src.bias})
+}
+
+// copyMatched copies weights pairwise between two parameter lists
+// wherever positions agree in shape (they always do for same-Config
+// dense layers; the guard makes a mismatch inert rather than a panic).
+func copyMatched(dst, src neural.Params) {
+	for i := 0; i < len(dst) && i < len(src); i++ {
+		if dst[i].Rows == src[i].Rows && dst[i].Cols == src[i].Cols {
+			copy(dst[i].W, src[i].W)
+		}
+	}
 }
 
 // PredictProb returns the marginal probability that the candidate is a

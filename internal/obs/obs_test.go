@@ -203,11 +203,11 @@ func assertHistogramConsistent(t *testing.T, f ParsedFamily) {
 func TestParseExpositionRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"no_type_declared 1\n",
-		"# HELP x h\n# TYPE x counter\nx{a=\"1\" 2\n",               // unclosed braces
-		"# HELP x h\n# TYPE x counter\nx 1\nx 2\n",                  // duplicate series
-		"# HELP x h\n# TYPE x histogram\nx 1\n",                     // histogram without suffix
-		"# HELP x h\n# TYPE x wat\nx 1\n",                           // unknown type
-		"# HELP x h\n# TYPE x counter\nx notanumber\n",              // bad value
+		"# HELP x h\n# TYPE x counter\nx{a=\"1\" 2\n",                // unclosed braces
+		"# HELP x h\n# TYPE x counter\nx 1\nx 2\n",                   // duplicate series
+		"# HELP x h\n# TYPE x histogram\nx 1\n",                      // histogram without suffix
+		"# HELP x h\n# TYPE x wat\nx 1\n",                            // unknown type
+		"# HELP x h\n# TYPE x counter\nx notanumber\n",               // bad value
 		"# HELP x h\n# TYPE x counter\n# HELP x h\n# TYPE x gauge\n", // duplicate family
 	}
 	for i, in := range bad {

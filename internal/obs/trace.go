@@ -53,11 +53,18 @@ func NewSpan(name string, start time.Time, rowsIn, rowsOut, workers int) Span {
 // published.
 type Trace struct {
 	// Kind is the trigger: "initial" (server construction), "ingest"
-	// (online document batch), or "snapshot" (persistence pass).
+	// (online synchronous ingest), "delta" (async ingest publishing a
+	// delta epoch under the current model), "train" (background
+	// retrain publishing a new model generation), or "snapshot"
+	// (persistence pass).
 	Kind string `json:"kind"`
 	// Epoch is the store epoch the run published (the pre-run epoch
-	// for failed publications and snapshots).
+	// for failed publications and snapshots; for "train" traces, the
+	// epoch whose corpus the generation was trained on).
 	Epoch uint64 `json:"epoch"`
+	// Generation is the model generation the published view serves
+	// (0 before any generation bookkeeping applies).
+	Generation uint64 `json:"generation,omitempty"`
 	// Start / DurationMs frame the whole run.
 	Start      time.Time `json:"start"`
 	DurationMs float64   `json:"durationMs"`

@@ -8,3 +8,11 @@ package serve
 func (s *Server) FailNextPublishForTest(msg string) {
 	s.publishFault.Store(&msg)
 }
+
+// FailNextTrainForTest arms a one-shot fault in the next retrain
+// (background or /admin/train): the retrain fails with msg before
+// training starts, marking the session train-degraded while delta
+// epochs keep serving. Tests only.
+func (s *Server) FailNextTrainForTest(msg string) {
+	s.trainFault.Store(&msg)
+}

@@ -54,6 +54,7 @@ func (s *Server) routes() http.Handler {
 	reg("POST /ingest", s.handleIngest)
 	reg("POST /classify", s.handleClassify)
 	reg("POST /admin/snapshot", s.handleSnapshot)
+	reg("POST /admin/train", s.handleTrain)
 	reg("GET /admin/traces", s.handleTraces)
 	return mux
 }
@@ -184,6 +185,7 @@ func (s *Server) healthzPayload() map[string]any {
 	p := map[string]any{
 		"ok":            true,
 		"epoch":         v.Epoch(),
+		"generation":    v.Generation(),
 		"relation":      v.Relation(),
 		"docs":          v.NumDocs(),
 		"candidates":    len(v.Candidates()),
@@ -289,12 +291,13 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 		cols[i] = c.Name
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":    v.Epoch(),
-		"relation": v.Relation(),
-		"columns":  cols,
-		"total":    total,
-		"offset":   lo,
-		"tuples":   page,
+		"epoch":      v.Epoch(),
+		"generation": v.Generation(),
+		"relation":   v.Relation(),
+		"columns":    cols,
+		"total":      total,
+		"offset":     lo,
+		"tuples":     page,
 	})
 }
 
@@ -462,12 +465,20 @@ func (s *Server) metaPayload() map[string]any {
 	}
 	agg.Add(v.KB().BackendStats())
 	p := map[string]any{
-		"epoch":    v.Epoch(),
-		"relation": v.Relation(),
-		"schema":   map[string]any{"name": schema.Name, "columns": cols},
-		"docs":     v.DocNames(),
-		"lfNames":  v.LFNames(),
-		"tables":   v.TableRows(),
+		"epoch": v.Epoch(),
+		// Two-phase publication state: which model generation this
+		// epoch serves, the epoch whose corpus trained it, and the
+		// staleness gap delta epochs have opened since. In synchronous
+		// mode the lag is always 0.
+		"generation":          v.Generation(),
+		"modelTrainedAtEpoch": v.ModelTrainedAtEpoch(),
+		"trainLagEpochs":      v.Epoch() - v.ModelTrainedAtEpoch(),
+		"asyncPublish":        s.async,
+		"relation":            v.Relation(),
+		"schema":              map[string]any{"name": schema.Name, "columns": cols},
+		"docs":                v.DocNames(),
+		"lfNames":             v.LFNames(),
+		"tables":              v.TableRows(),
 		"quality": map[string]float64{
 			"precision": res.Quality.Precision,
 			"recall":    res.Quality.Recall,
@@ -556,9 +567,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":      view.Epoch(),
+		"generation": view.Generation(),
 		"added":      len(docs),
 		"docs":       view.NumDocs(),
 		"candidates": len(view.Candidates()),
+	})
+}
+
+// handleTrain retrains the model over the currently served corpus and
+// publishes the new generation (POST /admin/train). In async mode
+// this is the manual version of what the background trainer does on
+// drift/interval triggers; in synchronous mode it is an explicit
+// retrain without ingesting anything.
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	view, err := s.Train()
+	if err != nil {
+		if err == errClosed {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":               view.Epoch(),
+		"generation":          view.Generation(),
+		"modelTrainedAtEpoch": view.ModelTrainedAtEpoch(),
+		"durationMs":          float64(time.Since(t0).Nanoseconds()) / 1e6,
 	})
 }
 

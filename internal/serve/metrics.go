@@ -76,7 +76,7 @@ func newServerMetrics(m *obs.Metrics) *serverMetrics {
 			"Model training wall time per publish run.",
 			obs.DefStageBuckets, "tenant"),
 		publishes: m.Counter("fonduer_publish_total",
-			"Epoch publications by kind: initial, ingest, or failed.",
+			"Epoch publications by kind: initial, ingest, delta, train, or failed.",
 			"tenant", "kind"),
 	}
 }
@@ -139,6 +139,8 @@ type registryMetrics struct {
 
 	degraded     *obs.Family // gauge {tenant}
 	servedEpoch  *obs.Family // gauge {tenant}
+	generation   *obs.Family // gauge {tenant}
+	trainLag     *obs.Family // gauge {tenant}
 	docs         *obs.Family // gauge {tenant}
 	candidates   *obs.Family // gauge {tenant}
 	kbEntries    *obs.Family // gauge {tenant}
@@ -168,6 +170,12 @@ func newRegistryMetrics(m *obs.Metrics) *registryMetrics {
 			"tenant"),
 		servedEpoch: m.Gauge("fonduer_served_epoch",
 			"Epoch the tenant's readers currently observe.",
+			"tenant"),
+		generation: m.Gauge("fonduer_model_generation",
+			"Model generation the tenant's served epoch classifies with.",
+			"tenant"),
+		trainLag: m.Gauge("fonduer_train_lag_epochs",
+			"Delta epochs published since the serving model generation was trained (async publication staleness).",
 			"tenant"),
 		docs: m.Gauge("fonduer_tenant_docs",
 			"Documents in the tenant's served epoch.",
@@ -214,6 +222,8 @@ func (rm *registryMetrics) sample(uptimeSecs float64, statuses []TenantStatus, s
 		}
 		rm.degraded.With(ts.Name).Set(deg)
 		rm.servedEpoch.With(ts.Name).Set(float64(ts.Epoch))
+		rm.generation.With(ts.Name).Set(float64(ts.Generation))
+		rm.trainLag.With(ts.Name).Set(float64(ts.TrainLag))
 		rm.docs.With(ts.Name).Set(float64(ts.Docs))
 		rm.candidates.With(ts.Name).Set(float64(ts.Candidates))
 		rm.kbEntries.With(ts.Name).Set(float64(ts.KBEntries))

@@ -28,7 +28,7 @@ var promName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 var metricRoutes = map[string]bool{
 	"/healthz": true, "/kb": true, "/candidates": true, "/marginals": true,
 	"/lfmetrics": true, "/features": true, "/meta": true, "/ingest": true,
-	"/classify": true, "/admin/snapshot": true, "/admin/traces": true,
+	"/classify": true, "/admin/snapshot": true, "/admin/train": true, "/admin/traces": true,
 	"/admin/tenants": true, "/admin/tenants/{name}": true, "/metrics": true,
 }
 
@@ -162,6 +162,8 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"fonduer_pool_shared_in_use",
 		"fonduer_tenant_degraded",
 		"fonduer_served_epoch",
+		"fonduer_model_generation",
+		"fonduer_train_lag_epochs",
 		"fonduer_tenant_docs",
 		"fonduer_tenant_candidates",
 		"fonduer_tenant_kb_entries",

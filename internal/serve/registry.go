@@ -72,6 +72,12 @@ type RegistryConfig struct {
 	// way). Per-Registry rather than process-global, so concurrent
 	// registries — tests, embedders — never share series.
 	Metrics *obs.Metrics
+	// Async/TrainDrift/TrainInterval configure every tenant's
+	// two-phase publication (see Config); the registry applies them
+	// uniformly to all tenants it builds.
+	Async         bool
+	TrainDrift    float64
+	TrainInterval time.Duration
 }
 
 // TenantConfig describes one tenant at creation time. It is the
@@ -113,6 +119,8 @@ type TenantStatus struct {
 	Resumed  bool   `json:"resumed"`
 
 	Epoch      uint64 `json:"epoch"`
+	Generation uint64 `json:"generation"`
+	TrainLag   uint64 `json:"trainLagEpochs"`
 	Docs       int    `json:"docs"`
 	Candidates int    `json:"candidates"`
 	KBEntries  int    `json:"kbEntries"`
@@ -160,6 +168,12 @@ type Registry struct {
 	snapshotRoot string
 	start        time.Time
 
+	// Fleet-wide two-phase publication settings, applied to every
+	// tenant the registry builds.
+	async         bool
+	trainDrift    float64
+	trainInterval time.Duration
+
 	// metrics is the fleet's instrumentation registry; every tenant's
 	// Server records into it, and fleetMetrics holds the gauge/counter
 	// families the /metrics handler samples at scrape time.
@@ -184,13 +198,16 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		m = obs.NewMetrics()
 	}
 	return &Registry{
-		resolve:      cfg.Resolve,
-		baseOpts:     cfg.BaseOptions,
-		snapshotRoot: cfg.SnapshotRoot,
-		start:        time.Now(),
-		metrics:      m,
-		fleetMetrics: newRegistryMetrics(m),
-		tenants:      map[string]*tenantEntry{},
+		resolve:       cfg.Resolve,
+		baseOpts:      cfg.BaseOptions,
+		snapshotRoot:  cfg.SnapshotRoot,
+		start:         time.Now(),
+		async:         cfg.Async,
+		trainDrift:    cfg.TrainDrift,
+		trainInterval: cfg.TrainInterval,
+		metrics:       m,
+		fleetMetrics:  newRegistryMetrics(m),
+		tenants:       map[string]*tenantEntry{},
 	}, nil
 }
 
@@ -292,13 +309,16 @@ func (rg *Registry) buildTenant(tc TenantConfig, task core.Task, gold []core.Gol
 		resumed = true
 	}
 	srv, err := New(Config{
-		Task:        task,
-		Options:     opts,
-		Gold:        gold,
-		Store:       st,
-		SnapshotDir: snapDir,
-		Name:        tc.Name,
-		Metrics:     rg.metrics,
+		Task:          task,
+		Options:       opts,
+		Gold:          gold,
+		Store:         st,
+		SnapshotDir:   snapDir,
+		Name:          tc.Name,
+		Metrics:       rg.metrics,
+		Async:         rg.async,
+		TrainDrift:    rg.trainDrift,
+		TrainInterval: rg.trainInterval,
 	})
 	if err != nil {
 		if st != nil {
@@ -391,6 +411,8 @@ func (rg *Registry) statusLocked(e *tenantEntry) TenantStatus {
 		Default:          e.cfg.Name == rg.defaultName,
 		Resumed:          e.resumed,
 		Epoch:            v.Epoch(),
+		Generation:       v.Generation(),
+		TrainLag:         v.Epoch() - v.ModelTrainedAtEpoch(),
 		Docs:             v.NumDocs(),
 		Candidates:       len(v.Candidates()),
 		KBEntries:        v.KB().Len(),

@@ -67,6 +67,24 @@ type Config struct {
 	// path completely uninstrumented — byte-for-byte the pre-metrics
 	// handler chain (the overhead benchmark compares the two).
 	Metrics *obs.Metrics
+	// Async enables two-phase publication: Ingest publishes an
+	// immediate delta epoch — the new documents classified under the
+	// CURRENT model generation, no training on the write path — and a
+	// background trainer goroutine retrains (warm-started from the
+	// previous weights) and republishes when feature drift crosses
+	// TrainDrift or TrainInterval elapses. False keeps the historical
+	// synchronous behavior: every ingest retrains before publishing.
+	// cmd/fonduer-serve defaults to async (-sync-publish opts out).
+	Async bool
+	// TrainDrift triggers a background retrain when the session
+	// feature space has grown by more than this fraction since the
+	// serving generation was trained (0.1 = 10%). <= 0 disables the
+	// drift trigger. Async mode only.
+	TrainDrift float64
+	// TrainInterval, when > 0, checks at this cadence whether the
+	// serving generation is stale (delta epochs published since it
+	// trained) and retrains if so. Async mode only.
+	TrainInterval time.Duration
 }
 
 // Server serves one extraction session over HTTP — standalone, or as
@@ -103,6 +121,27 @@ type Server struct {
 	// — fault injection for the degraded path.
 	publishFault atomic.Pointer[string]
 
+	// Two-phase publication state (Config.Async). The trainer
+	// goroutine owns retraining; trainMu additionally serializes it
+	// against POST /admin/train. trainKick is the writer's buffered
+	// nudge after a delta epoch crosses the drift threshold.
+	async         bool
+	trainDrift    float64
+	trainInterval time.Duration
+	trainKick     chan struct{}
+	trainMu       sync.Mutex
+
+	// trainDegraded is set when a background retrain failed: delta
+	// epochs keep serving (and keep the write path healthy), but the
+	// model generation is stuck until a retrain succeeds. Kept
+	// separate from the ingest degradation so a later delta publish
+	// can't mask a broken trainer.
+	trainDegraded atomic.Pointer[Degraded]
+
+	// trainFault (tests only, via FailNextTrainForTest) makes the next
+	// retrain fail — fault injection for the train-degraded path.
+	trainFault atomic.Pointer[string]
+
 	reqs      chan writerReq
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -127,9 +166,16 @@ type Degraded struct {
 }
 
 // Degraded returns the current degradation record, or nil when every
-// applied mutation is published. Surfaced in /healthz (ok=false),
-// /meta, and the registry's tenant listing.
-func (s *Server) Degraded() *Degraded { return s.degraded.Load() }
+// applied mutation is published and the last retrain (if any)
+// succeeded. Ingest degradation (stranded documents) takes precedence
+// over train degradation (stale generation). Surfaced in /healthz
+// (ok=false), /meta, and the registry's tenant listing.
+func (s *Server) Degraded() *Degraded {
+	if d := s.degraded.Load(); d != nil {
+		return d
+	}
+	return s.trainDegraded.Load()
+}
 
 // PartialIngestError is returned by Ingest when the document batch
 // was applied to the store but building/publishing the next epoch's
@@ -173,14 +219,18 @@ func New(cfg Config) (*Server, error) {
 		name = "default"
 	}
 	s := &Server{
-		gold:        cfg.Gold,
-		snapshotDir: cfg.SnapshotDir,
-		name:        name,
-		start:       time.Now(),
-		traces:      obs.NewTraceRing(0),
-		store:       st,
-		reqs:        make(chan writerReq),
-		closed:      make(chan struct{}),
+		gold:          cfg.Gold,
+		snapshotDir:   cfg.SnapshotDir,
+		name:          name,
+		start:         time.Now(),
+		traces:        obs.NewTraceRing(0),
+		store:         st,
+		async:         cfg.Async,
+		trainDrift:    cfg.TrainDrift,
+		trainInterval: cfg.TrainInterval,
+		trainKick:     make(chan struct{}, 1),
+		reqs:          make(chan writerReq),
+		closed:        make(chan struct{}),
 	}
 	if cfg.Metrics != nil {
 		s.metrics = newServerMetrics(cfg.Metrics)
@@ -220,6 +270,10 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}()
+	if s.async {
+		s.wg.Add(1)
+		go s.trainLoop()
+	}
 	return s, nil
 }
 
@@ -279,19 +333,36 @@ func (s *Server) recordPublish(tr obs.Trace, view *core.StoreView) {
 
 // Ingest applies one document batch on the writer goroutine —
 // extraction, featurization and supervision for the delta only, per
-// the store's incremental semantics — then retrains and publishes the
-// next epoch's view. It returns the newly published view.
+// the store's incremental semantics — then publishes the next epoch's
+// view and returns it.
+//
+// Synchronous mode retrains inside the publish (the new view carries
+// a new model generation). Async mode publishes a delta epoch: the
+// new documents are classified under the current generation's model,
+// and the background trainer is nudged if the session feature space
+// has drifted past Config.TrainDrift since that generation trained.
 func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
+	kind := "ingest"
+	if s.async {
+		kind = "delta"
+	}
 	val, err := s.submit(func(st *core.Store) (any, error) {
 		t0 := time.Now()
 		if err := st.AddDocuments(docs...); err != nil {
 			return nil, err
 		}
 		ingestSpans := st.TakeIngestSpans()
+		prev := s.view.Load()
 		var view *core.StoreView
 		verr := error(nil)
 		if msg := s.publishFault.Swap(nil); msg != nil {
 			verr = fmt.Errorf("%s", *msg)
+		} else if s.async {
+			// Delta publication: no training on the write path. If a
+			// previous publish failed, prev is older than the store by
+			// more than this batch; ViewDelta classifies everything
+			// after prev, folding the stranded documents in too.
+			view, verr = st.ViewDelta(prev, s.gold)
 		} else {
 			view, verr = st.View(s.gold)
 		}
@@ -303,9 +374,9 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 			for i, d := range docs {
 				names[i] = d.Name
 			}
-			served := uint64(0)
-			if v := s.view.Load(); v != nil {
-				served = v.Epoch()
+			served, servedGen := uint64(0), uint64(0)
+			if prev != nil {
+				served, servedGen = prev.Epoch(), prev.Generation()
 			}
 			s.degraded.Store(&Degraded{
 				Err:         verr.Error(),
@@ -314,8 +385,9 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 				ServedEpoch: served,
 			})
 			s.recordPublish(obs.Trace{
-				Kind:       "ingest",
+				Kind:       kind,
 				Epoch:      served,
+				Generation: servedGen,
 				Start:      t0,
 				DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
 				Docs:       len(docs),
@@ -324,14 +396,20 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 			}, nil)
 			return nil, &PartialIngestError{Docs: names, Err: verr}
 		}
+		if !s.async && prev != nil {
+			// Synchronous publication trains a fresh model every epoch:
+			// stamp the new generation before the view becomes visible.
+			view.SetGeneration(prev.Generation() + 1)
+		}
 		s.view.Store(view)
 		// A successful publication serves every applied mutation,
 		// including any previously stranded documents: the degradation
 		// is over, and the recovery is explicit in the epoch payload.
 		s.degraded.Store(nil)
 		s.recordPublish(obs.Trace{
-			Kind:       "ingest",
+			Kind:       kind,
 			Epoch:      view.Epoch(),
+			Generation: view.Generation(),
 			Start:      t0,
 			DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
 			Docs:       len(docs),
@@ -342,7 +420,149 @@ func (s *Server) Ingest(docs []*datamodel.Document) (*core.StoreView, error) {
 	if err != nil {
 		return nil, err
 	}
-	return val.(*core.StoreView), nil
+	view := val.(*core.StoreView)
+	s.maybeKickTrainer(view)
+	return view, nil
+}
+
+// maybeKickTrainer nudges the background trainer after a delta
+// publish when the session feature space has grown past the drift
+// threshold since the serving generation was trained. Non-blocking:
+// the kick channel is buffered and a pending kick is enough.
+func (s *Server) maybeKickTrainer(view *core.StoreView) {
+	if !s.async || s.trainDrift <= 0 || view == nil {
+		return
+	}
+	base := view.TrainedSessionFeatures()
+	grown := view.FeatureStats().SessionFeatures - base
+	drifted := (base == 0 && grown > 0) ||
+		(base > 0 && float64(grown)/float64(base) > s.trainDrift)
+	if !drifted {
+		return
+	}
+	select {
+	case s.trainKick <- struct{}{}:
+	default:
+	}
+}
+
+// trainLoop is the background trainer goroutine (async mode): it
+// waits for a drift kick or the interval tick, and retrains whenever
+// the serving generation is stale — or the previous retrain failed
+// and needs retrying.
+func (s *Server) trainLoop() {
+	defer s.wg.Done()
+	var tick <-chan time.Time
+	if s.trainInterval > 0 {
+		t := time.NewTicker(s.trainInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.trainKick:
+		case <-tick:
+		}
+		if !s.needsTrain() {
+			continue
+		}
+		if _, err := s.Train(); err != nil && err != errClosed {
+			obs.Log().Error("background retrain failed", "tenant", s.name, "error", err)
+		}
+	}
+}
+
+// needsTrain reports whether the serving generation is stale: delta
+// epochs were published since it trained, or the last retrain failed.
+func (s *Server) needsTrain() bool {
+	if s.trainDegraded.Load() != nil {
+		return true
+	}
+	v := s.CurrentView()
+	return v != nil && v.Epoch() > v.ModelTrainedAtEpoch()
+}
+
+// Train retrains the model over the currently served corpus — warm-
+// started from the serving generation — and publishes the new
+// generation. Training runs on the calling goroutine (the background
+// trainer, or an /admin/train request), never on the writer: only the
+// final install step goes through the writer loop, where the new
+// generation catches up (AdoptModel) with any delta epochs published
+// while it trained. Works in synchronous mode too, where it is simply
+// an explicit retrain of the current corpus.
+func (s *Server) Train() (*core.StoreView, error) {
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+
+	base := s.CurrentView()
+	if base == nil {
+		return nil, fmt.Errorf("serve: no published view to train from")
+	}
+	gen := base.Generation() + 1
+	t0 := time.Now()
+	var trained *core.StoreView
+	var err error
+	if msg := s.trainFault.Swap(nil); msg != nil {
+		err = fmt.Errorf("%s", *msg)
+	} else {
+		trained, err = base.Retrain(core.RetrainConfig{
+			Gold:       s.gold,
+			Generation: gen,
+			WarmFrom:   base,
+		})
+	}
+	if err == nil {
+		// Install through the writer goroutine, so the swap is
+		// serialized against concurrent delta publishes.
+		var val any
+		val, err = s.submit(func(st *core.Store) (any, error) {
+			v := trained
+			if cur := s.view.Load(); cur != nil && cur.Epoch() != trained.Epoch() {
+				cv, aerr := cur.AdoptModel(trained, s.gold)
+				if aerr != nil {
+					return nil, aerr
+				}
+				v = cv
+			}
+			s.view.Store(v)
+			s.trainDegraded.Store(nil)
+			s.recordPublish(obs.Trace{
+				Kind:       "train",
+				Epoch:      trained.Epoch(),
+				Generation: v.Generation(),
+				Start:      t0,
+				DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+				Docs:       v.NumDocs(),
+				Spans:      v.StageSpans(),
+			}, v)
+			return v, nil
+		})
+		if err == nil {
+			return val.(*core.StoreView), nil
+		}
+		if err == errClosed {
+			return nil, err
+		}
+	}
+	// The retrain (or its install) failed: delta epochs keep serving,
+	// but the generation is stuck — surface it on the degraded
+	// channel until a retrain succeeds.
+	s.trainDegraded.Store(&Degraded{
+		Err:         fmt.Sprintf("background retrain failed: %v", err),
+		StoreEpoch:  base.Epoch(),
+		ServedEpoch: base.Epoch(),
+	})
+	s.recordPublish(obs.Trace{
+		Kind:       "train",
+		Epoch:      base.Epoch(),
+		Generation: gen,
+		Start:      t0,
+		DurationMs: float64(time.Since(t0).Nanoseconds()) / 1e6,
+		Err:        err.Error(),
+	}, nil)
+	return nil, err
 }
 
 // Snapshot persists the session's relations to dir (or the
