@@ -107,56 +107,66 @@ func TestGateMissingBenchmarks(t *testing.T) {
 }
 
 // TestBaselineGatesFilteredRead pins the repo's checked-in baseline:
-// the filtered-read benchmark must be present with a full sample set,
-// fall under the default gate regex (Serve prefix), and actually gate
-// — a run that loses it fails, and its multi-metric output lines
-// (legacy_ns/op, speedup_x) parse to the primary ns/op number.
+// the storage-engine read and ingest benchmarks (the disk filtered
+// read and the columnar engine's filtered read and ingest rows) must
+// be present with full sample sets, fall under the default gate regex
+// (Serve/Ingest prefixes), and actually gate — a run that loses one
+// fails, and multi-metric output lines (legacy_ns/op, disk_ns/op,
+// speedup_x) parse to the primary ns/op number.
 func TestBaselineGatesFilteredRead(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline.txt"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	baseline := parseBench(string(raw))
-	const name = "BenchmarkServeKBFilteredRead"
-	samples, ok := baseline[name]
-	if !ok {
-		t.Fatalf("%s missing from bench/baseline.txt", name)
-	}
-	if len(samples) != 3 {
-		t.Fatalf("%s has %d samples, want 3", name, len(samples))
-	}
-	if med := median(samples); med <= 0 || med > 1e9 {
-		t.Fatalf("%s median ns/op %v not parsed from the multi-metric line", name, med)
-	}
 	match := regexp.MustCompile(`^Benchmark(Train|Serve|Ingest)`)
-	if !match.MatchString(name) {
-		t.Fatalf("%s escapes the default gate regex", name)
+	names := []string{
+		"BenchmarkServeKBFilteredRead",
+		"BenchmarkServeKBFilteredReadColumnar",
+		"BenchmarkIngestColumnar",
+	}
+	for _, name := range names {
+		samples, ok := baseline[name]
+		if !ok {
+			t.Fatalf("%s missing from bench/baseline.txt", name)
+		}
+		if len(samples) != 3 {
+			t.Fatalf("%s has %d samples, want 3", name, len(samples))
+		}
+		if med := median(samples); med <= 0 || med > 1e9 {
+			t.Fatalf("%s median ns/op %v not parsed from the multi-metric line", name, med)
+		}
+		if !match.MatchString(name) {
+			t.Fatalf("%s escapes the default gate regex", name)
+		}
 	}
 
-	// Self-comparison passes and marks the benchmark gated.
+	// Self-comparison passes and marks every benchmark gated.
 	rep := gate(baseline, baseline, match, 0.20)
 	if !rep.Pass {
 		t.Fatalf("baseline self-comparison must pass: %+v", rep)
 	}
-	gated := false
-	for _, r := range rep.Benchmarks {
-		if r.Name == name {
-			gated = r.Gated
+	for _, name := range names {
+		gated := false
+		for _, r := range rep.Benchmarks {
+			if r.Name == name {
+				gated = r.Gated
+			}
 		}
-	}
-	if !gated {
-		t.Fatalf("%s is not gated by the default regex", name)
-	}
+		if !gated {
+			t.Fatalf("%s is not gated by the default regex", name)
+		}
 
-	// Dropping it from a run fails the gate.
-	current := map[string][]float64{}
-	for k, v := range baseline {
-		if k != name {
-			current[k] = v
+		// Dropping it from a run fails the gate.
+		current := map[string][]float64{}
+		for k, v := range baseline {
+			if k != name {
+				current[k] = v
+			}
 		}
-	}
-	if rep := gate(baseline, current, match, 0.20); rep.Pass {
-		t.Fatalf("a run missing %s must fail the gate", name)
+		if rep := gate(baseline, current, match, 0.20); rep.Pass {
+			t.Fatalf("a run missing %s must fail the gate", name)
+		}
 	}
 }
 

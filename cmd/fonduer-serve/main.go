@@ -64,6 +64,7 @@ import (
 	"time"
 
 	fonduer "repro"
+	"repro/internal/kbase"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/serve"
@@ -82,7 +83,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.5, "classification threshold over output marginals")
 	epochs := flag.Int("epochs", 16, "training epochs per published view")
 	seed := flag.Int64("seed", 1, "random seed")
-	backend := flag.String("backend", "", "storage engine for session relations: memory or disk (disk-paged tables with an LRU page cache; default: $FONDUER_BACKEND, else memory); per-tenant overrides via -tenants or POST /admin/tenants")
+	backend := flag.String("backend", "", "storage engine for session relations: memory, disk (disk-paged tables with an LRU page cache) or columnar (column-major binary pages with in-page zone pruning; default: $FONDUER_BACKEND, else memory); per-tenant overrides via -tenants or POST /admin/tenants")
 	maxResident := flag.Int("max-resident-docs", 0, "keep at most this many parsed documents hydrated in RAM per tenant, evicting LRU documents and rehydrating on demand; /meta reports the counters (0 = unlimited)")
 	syncPublish := flag.Bool("sync-publish", false, "retrain synchronously on every ingest before publishing (the pre-async behavior); default is async two-phase publication: immediate delta epochs + background retraining")
 	trainDrift := flag.Float64("train-drift", 0.10, "async mode: trigger a background retrain when the session feature space has grown by more than this fraction since the serving model generation was trained (<=0 disables the drift trigger)")
@@ -108,8 +109,8 @@ func main() {
 		defer stopDebug()
 		fmt.Printf("fonduer-serve: pprof on http://%s/debug/pprof/\n", dbg)
 	}
-	if *backend != "" && *backend != "memory" && *backend != "disk" {
-		fmt.Fprintf(os.Stderr, "fonduer-serve: unknown -backend %q (want memory or disk)\n", *backend)
+	if !kbase.ValidBackendKind(*backend) {
+		fmt.Fprintf(os.Stderr, "fonduer-serve: unknown -backend %q (want %s)\n", *backend, kbase.BackendKindsWant())
 		os.Exit(1)
 	}
 	// The fleet-wide pool budget: installed before any tenant exists so

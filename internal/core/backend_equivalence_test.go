@@ -25,8 +25,10 @@ var storageConfigs = []struct {
 }{
 	{"memory", "memory", 0},
 	{"disk", "disk", 0},
+	{"columnar", "columnar", 0},
 	{"memory-evict", "memory", 3},
 	{"disk-evict", "disk", 3},
+	{"columnar-evict", "columnar", 3},
 }
 
 // snapshotBytes reads every file of a SaveDB directory except the
@@ -125,8 +127,8 @@ func TestBackendStoreEquivalence(t *testing.T) {
 			if cfg.maxResident > 0 && stats.PeakResidentDocs > cfg.maxResident {
 				t.Fatalf("peak resident docs %d exceeds budget %d", stats.PeakResidentDocs, cfg.maxResident)
 			}
-			if cfg.backend == "disk" && stats.DiskPages == 0 {
-				t.Fatal("disk backend wrote no pages — the corpus should span several")
+			if (cfg.backend == "disk" || cfg.backend == "columnar") && stats.DiskPages == 0 {
+				t.Fatalf("%s backend built no pages — the corpus should span several", cfg.backend)
 			}
 			if want == nil {
 				want = got

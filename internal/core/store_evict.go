@@ -410,21 +410,24 @@ func buildDocCandidates(name string, first, count int, rows []candRow, doc *data
 // state — the operator-facing counters surfaced by the serving
 // layer's /meta endpoint.
 type StorageStats struct {
-	// Backend is the kbase engine kind ("memory" or "disk").
+	// Backend is the kbase engine kind ("memory", "disk" or
+	// "columnar").
 	Backend string
 	// Docs is the total ingested document count; ResidentDocs of them
 	// are currently hydrated. PeakResidentDocs is the high-water mark
 	// of ResidentDocs (sampled after each budget enforcement), and
 	// MaxResidentDocs the configured budget (0 = unlimited).
 	Docs, ResidentDocs, PeakResidentDocs, MaxResidentDocs int
-	// DiskPages counts full row pages on disk across relations; the
-	// cache counters report disk-backend page-cache effectiveness.
+	// DiskPages counts full row pages across relations (on disk for
+	// the disk engine, encoded in memory for the columnar engine); the
+	// cache counters report page-cache effectiveness on the paged
+	// engines.
 	DiskPages                      int
 	PageCacheHits, PageCacheMisses int64
 	PageCacheHitRate               float64
-	// PagesSkipped counts disk pages pruned by zone maps on filtered
-	// reads; IndexHits / FullScans count how filtered reads were
-	// planned (hash index vs scan).
+	// PagesSkipped counts pages pruned by zone maps on filtered reads;
+	// IndexHits / FullScans count how filtered reads were planned
+	// (hash index vs scan).
 	PagesSkipped         int64
 	IndexHits, FullScans int64
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Pred is one pushed-down predicate: an exact equality test between a
@@ -117,11 +118,13 @@ func (m matcher) match(tp Tuple) bool {
 // via a compact hash index — so every backend only has to store an
 // ordered row sequence.
 //
-// The two implementations are the in-memory engine (rows in a slice,
-// the original representation) and the disk-paged engine (fixed-size
-// row pages on disk behind a small LRU page cache, so a table's
-// resident footprint is the cache plus one partial tail page no
-// matter how many rows it holds).
+// The three implementations are the in-memory engine (rows in a
+// slice, the original representation), the disk-paged engine
+// (fixed-size row pages on disk behind a small LRU page cache, so a
+// table's resident footprint is the cache plus one partial tail page
+// no matter how many rows it holds), and the columnar engine
+// (fixed-size pages as column-major binary blobs in memory, so
+// filtered reads decode predicate columns only).
 //
 // Contract, relied on by Table and by the cross-backend equivalence
 // tests:
@@ -136,7 +139,7 @@ func (m matcher) match(tp Tuple) bool {
 //     WriteTSV, so a table's serialized bytes are identical across
 //     backends holding the same rows in the same order.
 type Backend interface {
-	// Kind names the backend ("memory" or "disk").
+	// Kind names the backend (one of BackendKinds).
 	Kind() string
 	// Len returns the number of stored rows.
 	Len() int
@@ -183,13 +186,14 @@ type Backend interface {
 // (IndexHits, FullScans) are recorded by the Table-level planner and
 // merged in by Table.BackendStats.
 type BackendStats struct {
-	// Pages counts full row pages currently on disk.
+	// Pages counts full row pages: on disk for the disk engine,
+	// encoded column-major in memory for the columnar engine.
 	Pages int
 	// CacheHits / CacheMisses count page-cache lookups. A miss reads
-	// and decodes one page file.
+	// (disk) or decodes (columnar) one full page.
 	CacheHits, CacheMisses int64
-	// PagesSkipped counts disk pages pruned by zone maps during
-	// filtered reads — pages never read, decoded, or cached.
+	// PagesSkipped counts pages pruned by zone maps during filtered
+	// reads — pages never read, decoded, or cached.
 	PagesSkipped int64
 	// IndexHits counts filtered reads answered through a hash index;
 	// FullScans counts filtered reads that had to scan (on the disk
@@ -222,17 +226,49 @@ type Engine interface {
 	Close() error
 }
 
+// BackendKinds lists the storage engine names NewEngine accepts, in
+// presentation order. The empty string resolves to "memory". Every
+// surface that validates an engine name (CLI flags, tenant configs,
+// the HTTP admin API) derives its message from this list, so the
+// valid set can never drift per layer.
+func BackendKinds() []string { return []string{"memory", "disk", "columnar"} }
+
+// ValidBackendKind reports whether kind names a storage engine ("" is
+// valid and selects the default in-memory engine).
+func ValidBackendKind(kind string) bool {
+	if kind == "" {
+		return true
+	}
+	for _, k := range BackendKinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendKindsWant renders BackendKinds for error and usage messages:
+// "memory, disk or columnar".
+func BackendKindsWant() string {
+	ks := BackendKinds()
+	return strings.Join(ks[:len(ks)-1], ", ") + " or " + ks[len(ks)-1]
+}
+
 // NewEngine resolves an engine kind: "" or "memory" is the in-memory
 // engine, "disk" the disk-paged engine with default page geometry
-// spilling under dir (a fresh temporary directory when dir is empty).
+// spilling under dir (a fresh temporary directory when dir is empty),
+// "columnar" the in-memory columnar engine with default page
+// geometry.
 func NewEngine(kind, dir string) (Engine, error) {
 	switch kind {
 	case "", "memory":
 		return MemoryEngine{}, nil
 	case "disk":
 		return NewDiskEngine(dir, 0, 0)
+	case "columnar":
+		return NewColumnarEngine(0, 0), nil
 	default:
-		return nil, fmt.Errorf("kbase: unknown backend %q (want memory or disk)", kind)
+		return nil, fmt.Errorf("kbase: unknown backend %q (want %s)", kind, BackendKindsWant())
 	}
 }
 

@@ -11,9 +11,9 @@ import (
 // forEachBackend runs the same test body against every storage
 // engine, so Table semantics (set membership, insertion order,
 // pagination, deletion, snapshots) are proven identical across the
-// in-memory and disk-paged backends. The disk engine uses a tiny page
-// size so a handful of rows already spans several pages and a partial
-// tail.
+// in-memory, disk-paged and columnar backends. The paged engines use
+// a tiny page size so a handful of rows already spans several pages
+// and a partial tail.
 func forEachBackend(t *testing.T, fn func(t *testing.T, engine Engine)) {
 	t.Helper()
 	t.Run("memory", func(t *testing.T) { fn(t, MemoryEngine{}) })
@@ -22,6 +22,11 @@ func forEachBackend(t *testing.T, fn func(t *testing.T, engine Engine)) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer engine.Close()
+		fn(t, engine)
+	})
+	t.Run("columnar", func(t *testing.T) {
+		engine := NewColumnarEngine(4, 2)
 		defer engine.Close()
 		fn(t, engine)
 	})
@@ -280,6 +285,11 @@ func TestBackendTSVBytesIdentical(t *testing.T) {
 	defer disk.Close()
 	if got := render(t, disk); !bytes.Equal(mem, got) {
 		t.Fatalf("WriteTSV bytes differ across backends:\nmemory: %q\ndisk:   %q", mem, got)
+	}
+	columnar := NewColumnarEngine(8, 2)
+	defer columnar.Close()
+	if got := render(t, columnar); !bytes.Equal(mem, got) {
+		t.Fatalf("WriteTSV bytes differ across backends:\nmemory:   %q\ncolumnar: %q", mem, got)
 	}
 }
 

@@ -1,0 +1,221 @@
+package kbase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The columnar page codec: one table page encoded column-major into a
+// compact binary blob. The layout is
+//
+//	uvarint rowCount
+//	uvarint blockLen per schema column      (the header)
+//	block per schema column                 (the body)
+//
+// where each block is a 1-byte column type tag followed by the
+// column's cell vector:
+//
+//	string: rowCount uvarint byte lengths, then the concatenated
+//	        raw cell bytes (arbitrary bytes; no escaping needed)
+//	int64:  rowCount raw 8-byte little-endian values
+//	float64: rowCount raw 8-byte little-endian IEEE-754 bit patterns
+//
+// Storing numeric cells as raw bit patterns (math.Float64bits for
+// floats) makes decode bit-exact — NaN payloads, -0 and subnormals
+// round-trip unchanged — so rendered values, snapshots and predicate
+// semantics are byte-identical to the row-major engines. The header's
+// per-column block lengths let a reader locate any single column in
+// O(arity) without touching the other columns' bytes.
+
+// Column type tags in the binary page format.
+const (
+	colTagString byte = 0
+	colTagInt    byte = 1
+	colTagFloat  byte = 2
+)
+
+// colTagFor maps a schema column type to its binary tag.
+func colTagFor(ct ColType) byte {
+	switch ct {
+	case IntCol:
+		return colTagInt
+	case FloatCol:
+		return colTagFloat
+	default:
+		return colTagString
+	}
+}
+
+// encodeColumnarPage encodes rows (normalized tuples matching the
+// schema) into one column-major page blob.
+func encodeColumnarPage(schema Schema, rows []Tuple) ([]byte, error) {
+	arity := schema.Arity()
+	for _, tp := range rows {
+		if len(tp) != arity {
+			return nil, fmt.Errorf("kbase: columnar page for %s: arity %d, got %d values", schema.Name, arity, len(tp))
+		}
+	}
+	blocks := make([][]byte, arity)
+	for c, col := range schema.Columns {
+		blk := []byte{colTagFor(col.Type)}
+		switch col.Type {
+		case IntCol:
+			for _, tp := range rows {
+				n, ok := tp[c].(int64)
+				if !ok {
+					return nil, fmt.Errorf("kbase: columnar page for %s.%s: value %v (%T) is not int64", schema.Name, col.Name, tp[c], tp[c])
+				}
+				blk = binary.LittleEndian.AppendUint64(blk, uint64(n))
+			}
+		case FloatCol:
+			for _, tp := range rows {
+				f, ok := tp[c].(float64)
+				if !ok {
+					return nil, fmt.Errorf("kbase: columnar page for %s.%s: value %v (%T) is not float64", schema.Name, col.Name, tp[c], tp[c])
+				}
+				blk = binary.LittleEndian.AppendUint64(blk, math.Float64bits(f))
+			}
+		default:
+			for _, tp := range rows {
+				s, ok := tp[c].(string)
+				if !ok {
+					return nil, fmt.Errorf("kbase: columnar page for %s.%s: value %v (%T) is not string", schema.Name, col.Name, tp[c], tp[c])
+				}
+				blk = binary.AppendUvarint(blk, uint64(len(s)))
+			}
+			for _, tp := range rows {
+				blk = append(blk, tp[c].(string)...)
+			}
+		}
+		blocks[c] = blk
+	}
+	out := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, blk := range blocks {
+		out = binary.AppendUvarint(out, uint64(len(blk)))
+	}
+	for _, blk := range blocks {
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// colPage is a parsed page header: the row count plus each column's
+// tag-prefixed block, sliced out of the (immutable) page blob without
+// copying or decoding any cells.
+type colPage struct {
+	nrows  int
+	blocks [][]byte
+}
+
+// parseColumnarPage slices a page blob into its column blocks and
+// validates the fixed-width blocks' geometry. String cell boundaries
+// are validated lazily by stringColIndex.
+func parseColumnarPage(blob []byte, schema Schema) (colPage, error) {
+	arity := schema.Arity()
+	nrows, n := binary.Uvarint(blob)
+	if n <= 0 || nrows > uint64(len(blob)) {
+		return colPage{}, fmt.Errorf("kbase: columnar page for %s: bad row count", schema.Name)
+	}
+	off := n
+	lens := make([]int, arity)
+	for c := 0; c < arity; c++ {
+		l, n := binary.Uvarint(blob[off:])
+		if n <= 0 || l > uint64(len(blob)) {
+			return colPage{}, fmt.Errorf("kbase: columnar page for %s: bad block length for column %d", schema.Name, c)
+		}
+		lens[c] = int(l)
+		off += n
+	}
+	pg := colPage{nrows: int(nrows), blocks: make([][]byte, arity)}
+	for c := 0; c < arity; c++ {
+		if lens[c] > len(blob)-off {
+			return colPage{}, fmt.Errorf("kbase: columnar page for %s: column %d block truncated", schema.Name, c)
+		}
+		pg.blocks[c] = blob[off : off+lens[c]]
+		off += lens[c]
+	}
+	if off != len(blob) {
+		return colPage{}, fmt.Errorf("kbase: columnar page for %s: %d trailing bytes", schema.Name, len(blob)-off)
+	}
+	for c, col := range schema.Columns {
+		blk := pg.blocks[c]
+		if len(blk) == 0 || blk[0] != colTagFor(col.Type) {
+			return colPage{}, fmt.Errorf("kbase: columnar page for %s: column %d tag mismatch", schema.Name, c)
+		}
+		if (col.Type == IntCol || col.Type == FloatCol) && len(blk) != 1+8*pg.nrows {
+			return colPage{}, fmt.Errorf("kbase: columnar page for %s: column %d block is %d bytes, want %d", schema.Name, c, len(blk), 1+8*pg.nrows)
+		}
+	}
+	return pg, nil
+}
+
+// intColCell reads cell row of a fixed-width int64 block.
+func intColCell(blk []byte, row int) int64 {
+	return int64(binary.LittleEndian.Uint64(blk[1+8*row:]))
+}
+
+// floatColCell reads cell row of a fixed-width float64 block,
+// bit-exactly (NaN payloads included).
+func floatColCell(blk []byte, row int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(blk[1+8*row:]))
+}
+
+// stringColIndex walks a string block's uvarint length prefixes and
+// returns the cell boundaries into data: cell i is
+// data[offs[i]:offs[i+1]] (offs has nrows+1 entries). The walk reads
+// only lengths — no cell is materialized.
+func stringColIndex(blk []byte, nrows int) (offs []int, data []byte, err error) {
+	offs = make([]int, nrows+1)
+	pos, total := 1, 0
+	for i := 0; i < nrows; i++ {
+		l, n := binary.Uvarint(blk[pos:])
+		if n <= 0 || l > uint64(len(blk)) {
+			return nil, nil, fmt.Errorf("kbase: columnar string block: bad length for cell %d", i)
+		}
+		offs[i] = total
+		total += int(l)
+		pos += n
+	}
+	offs[nrows] = total
+	data = blk[pos:]
+	if len(data) != total {
+		return nil, nil, fmt.Errorf("kbase: columnar string block: %d data bytes, lengths sum to %d", len(data), total)
+	}
+	return offs, data, nil
+}
+
+// decodeColumnarPage materializes every row of a page — the full
+// decode behind Get/Scan/Page and delete rewrites.
+func decodeColumnarPage(blob []byte, schema Schema) ([]Tuple, error) {
+	pg, err := parseColumnarPage(blob, schema)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Tuple, pg.nrows)
+	for i := range rows {
+		rows[i] = make(Tuple, len(pg.blocks))
+	}
+	for c, col := range schema.Columns {
+		blk := pg.blocks[c]
+		switch col.Type {
+		case IntCol:
+			for i := range rows {
+				rows[i][c] = intColCell(blk, i)
+			}
+		case FloatCol:
+			for i := range rows {
+				rows[i][c] = floatColCell(blk, i)
+			}
+		default:
+			offs, data, err := stringColIndex(blk, pg.nrows)
+			if err != nil {
+				return nil, err
+			}
+			for i := range rows {
+				rows[i][c] = string(data[offs[i]:offs[i+1]])
+			}
+		}
+	}
+	return rows, nil
+}

@@ -82,6 +82,9 @@ func whereConfigs(t *testing.T) []whereConfig {
 		t.Cleanup(func() { engine.Close() })
 		return newBackedTable(t, engine, whereSchema(t))
 	}
+	newColumnar := func(t *testing.T) *Table {
+		return newBackedTable(t, NewColumnarEngine(4, 2), whereSchema(t))
+	}
 	return []whereConfig{
 		{
 			name: "memory",
@@ -101,6 +104,22 @@ func whereConfigs(t *testing.T) []whereConfig {
 		{
 			name:  "disk+zone-map-only",
 			make:  newDisk,
+			setup: func(t *testing.T, tbl *Table) { tbl.SetAutoIndex(false) },
+		},
+		{
+			// Same three plan shapes on the columnar engine: auto planner
+			// flips, forced indexes, and pure lazy-decode scans.
+			name: "columnar",
+			make: newColumnar,
+		},
+		{
+			name:  "columnar+index",
+			make:  newColumnar,
+			setup: func(t *testing.T, tbl *Table) { mustEnsureIndex(t, tbl, "grp", "part", "n", "score") },
+		},
+		{
+			name:  "columnar+zone-map-only",
+			make:  newColumnar,
 			setup: func(t *testing.T, tbl *Table) { tbl.SetAutoIndex(false) },
 		},
 	}
@@ -209,12 +228,15 @@ func TestFilteredReadEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			var engine Engine = MemoryEngine{}
-			if tbl.BackendKind() == "disk" {
+			switch tbl.BackendKind() {
+			case "disk":
 				var err error
 				engine, err = NewDiskEngine(filepath.Join(t.TempDir(), "spill2"), 4, 2)
 				if err != nil {
 					t.Fatal(err)
 				}
+			case "columnar":
+				engine = NewColumnarEngine(4, 2)
 			}
 			restored, err := LoadDBWith(snap, engine)
 			if err != nil {

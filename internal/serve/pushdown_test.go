@@ -19,10 +19,21 @@ import (
 // window — and stays stable while the table's planner flips hot
 // columns from scans to lazy hash indexes across repeated queries.
 // The new /meta storage counters account for that filtered traffic.
+// The grid quantifies over every storage engine, since each backend
+// implements the pushed-down PageWhere path differently (resident
+// rows, TSV page decode, columnar predicate-column decode).
 func TestKBFilterPushdown(t *testing.T) {
+	for _, backend := range []string{"memory", "disk", "columnar"} {
+		t.Run(backend, func(t *testing.T) {
+			testKBFilterPushdown(t, backend)
+		})
+	}
+}
+
+func testKBFilterPushdown(t *testing.T, backend string) {
 	corpus := synth.Electronics(40, 8)
 	task := corpus.Tasks[0]
-	srv, err := serve.New(serve.Config{Task: task, Options: core.Options{Seed: 3, Epochs: 1, Workers: 2}})
+	srv, err := serve.New(serve.Config{Task: task, Options: core.Options{Seed: 3, Epochs: 1, Workers: 2, Backend: backend}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,5 +146,8 @@ func TestKBFilterPushdown(t *testing.T) {
 	}
 	if storage["indexHits"].(float64) == 0 {
 		t.Fatal("repeated filtered reads never flipped to an index plan")
+	}
+	if got := storage["backend"]; got != backend {
+		t.Fatalf("/meta storage backend = %v, want %q", got, backend)
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kbase"
 	"repro/internal/obs"
 )
 
@@ -89,8 +90,9 @@ type TenantConfig struct {
 	// resolver (relation "" = the domain's first).
 	Domain   string `json:"domain"`
 	Relation string `json:"relation,omitempty"`
-	// Backend picks the tenant's storage engine ("memory" or "disk";
-	// "" inherits the registry's base options / $FONDUER_BACKEND).
+	// Backend picks the tenant's storage engine ("memory", "disk" or
+	// "columnar"; "" inherits the registry's base options /
+	// $FONDUER_BACKEND).
 	Backend string `json:"backend,omitempty"`
 	// MaxResidentDocs is the tenant's parsed-document budget (>0
 	// overrides the base; mostly-idle disk tenants run well at small
@@ -245,8 +247,8 @@ func (rg *Registry) Create(tc TenantConfig) (*TenantStatus, error) {
 	if tc.Name == fleetTenant {
 		return nil, fmt.Errorf("serve: tenant name %q is reserved for fleet metrics", tc.Name)
 	}
-	if tc.Backend != "" && tc.Backend != "memory" && tc.Backend != "disk" {
-		return nil, fmt.Errorf("serve: tenant %q: unknown backend %q (want memory or disk)", tc.Name, tc.Backend)
+	if !kbase.ValidBackendKind(tc.Backend) {
+		return nil, fmt.Errorf("serve: tenant %q: unknown backend %q (want %s)", tc.Name, tc.Backend, kbase.BackendKindsWant())
 	}
 	task, gold, err := rg.resolve(tc.Domain, tc.Relation)
 	if err != nil {
